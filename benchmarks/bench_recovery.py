@@ -1,0 +1,80 @@
+"""Recovery-cost benchmark: the Figure-11 scan vs checkpointed restart.
+
+The paper estimates the full recovery scan at ~60 s per GB (one spare
+read per physical page).  This benchmark measures the simulated scan
+cost on the bench chip, checks it extrapolates to the paper's estimate,
+and quantifies the speedup of the clean-shutdown checkpoint extension.
+"""
+
+import random
+
+from repro.bench.reporting import ResultTable
+from repro.core.pdl import PdlDriver
+from repro.core.recovery import RECOVERY_PHASE, recover_driver
+from repro.ext.checkpoint import CHECKPOINT_PHASE, CheckpointManager
+from repro.flash.chip import FlashChip
+from repro.flash.spec import spec_for_database
+
+REGION = 2
+
+
+def _build(scale):
+    spec = spec_for_database(scale.database_pages, utilization=0.25)
+    chip = FlashChip(spec)
+    driver = PdlDriver(
+        chip, max_differential_size=256, checkpoint_region_blocks=REGION
+    )
+    rng = random.Random(9)
+    for pid in range(scale.database_pages):
+        driver.load_page(pid, rng.randbytes(driver.page_size))
+    for _ in range(scale.database_pages // 2):
+        pid = rng.randrange(scale.database_pages)
+        image = bytearray(driver.read_page(pid))
+        image[0:8] = rng.randbytes(8)
+        driver.write_page(pid, bytes(image))
+    driver.flush()
+    return chip, driver
+
+
+def test_recovery_scan_vs_checkpoint(benchmark, scale):
+    chip, driver = _build(scale)
+    manager = CheckpointManager(driver, REGION)
+    manager.checkpoint()
+
+    def run():
+        table = ResultTable(
+            experiment="recovery_cost",
+            title="Recovery: full Figure-11 scan vs checkpointed restart",
+            columns=("path", "simulated_us", "flash_reads"),
+        )
+        # full scan (ignore the checkpoint deliberately)
+        snap = chip.stats.snapshot()
+        recover_driver(chip, max_differential_size=256)
+        scan = chip.stats.delta_since(snap)
+        scan_us = scan.of_phase(RECOVERY_PHASE).time_us
+        table.add_row("full_scan", scan_us, scan.of_phase(RECOVERY_PHASE).reads)
+        # fast restart from the checkpoint
+        snap = chip.stats.snapshot()
+        _drv, _mgr, report = CheckpointManager.restart(
+            chip, REGION, max_differential_size=256
+        )
+        fast = chip.stats.delta_since(snap)
+        fast_us = fast.of_phase(CHECKPOINT_PHASE).time_us
+        table.add_row("checkpoint", fast_us, report.pages_read)
+        assert report.fast_path
+        per_gb = scan_us / chip.spec.data_capacity * (1 << 30) / 1e6
+        table.note(f"full scan extrapolates to {per_gb:.1f} s per GB "
+                   "(paper estimates ~60 s per GB)")
+        return table, scan_us, fast_us, per_gb
+
+    table, scan_us, fast_us, per_gb = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(table.render())
+    table.save()
+    # the checkpoint path must be at least an order of magnitude cheaper
+    assert fast_us * 10 < scan_us
+    # the scan cost extrapolation lands in the paper's ballpark (the scan
+    # is one Tread per page plus differential-page data reads)
+    assert 40.0 <= per_gb <= 120.0

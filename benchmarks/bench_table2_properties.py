@@ -1,0 +1,38 @@
+"""Table 2 measured empirically: ops per recreation/reflection, coupling.
+
+Asserts the table's qualitative rows: page-based methods read one page,
+PDL at most two, log-based many; PDL reflects with ≈ one page write where
+OPU needs two; only IPL is tightly coupled.
+"""
+
+from repro.bench.experiments import table2_properties
+
+
+def test_table2_properties(run_experiment, scale):
+    table = run_experiment(table2_properties, scale)
+
+    def reads(method):
+        return table.value("reads_per_recreate", method=method)
+
+    def writes(method):
+        return table.value("writes_per_reflect", method=method)
+
+    def coupling(method):
+        return table.value("coupling", method=method)
+
+    # "number of physical pages to read when recreating a logical page"
+    assert reads("OPU") == 1.0
+    assert reads("IPU") == 1.0
+    assert 1.0 <= reads("PDL (256B)") <= 2.0
+    assert 1.0 <= reads("PDL (2KB)") <= 2.0
+    assert reads("IPL (64KB)") > 2.0  # multiple pages
+
+    # writes per reflection: PDL below OPU's two
+    assert writes("PDL (256B)") < writes("OPU")
+    assert writes("IPU") > 10 * writes("OPU")
+
+    # architecture row: only the log-based method is DBMS-dependent
+    assert coupling("IPL (18KB)") == "tightly-coupled"
+    assert coupling("IPL (64KB)") == "tightly-coupled"
+    for method in ("PDL (256B)", "PDL (2KB)", "OPU", "IPU"):
+        assert coupling(method) == "loosely-coupled"

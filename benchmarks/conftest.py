@@ -1,0 +1,44 @@
+"""Shared benchmark plumbing.
+
+Benchmarks regenerate the paper's tables/figures at the scale selected by
+``REPRO_BENCH_SCALE`` (default ``small``).  Each benchmark runs its
+experiment once through ``benchmark.pedantic`` (the experiment itself is
+a long deterministic simulation — statistical repetition adds nothing),
+prints the paper-style table, saves JSON under ``bench_results/``, and
+asserts the figure's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.config import current_scale  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment once under pytest-benchmark and publish results."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(*args, **kwargs), rounds=1, iterations=1, warmup_rounds=0
+        )
+        print()
+        print(result.render())
+        path = result.save()
+        print(f"saved: {path}")
+        return result
+
+    return runner

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""TPC-C on flash: the paper's Experiment 7 in miniature.
+
+Loads a scaled TPC-C database (all nine tables, heap files + B+tree
+indexes) on top of two different page-update drivers and runs the
+standard transaction mix through a small DBMS buffer pool, reporting
+simulated flash I/O per transaction — the series of Figure 18.
+
+Run:  python examples/tpcc_demo.py
+"""
+
+from repro.workloads.tpcc import TpccScale, run_tpcc
+
+SCALE = TpccScale(
+    warehouses=1,
+    districts_per_warehouse=4,
+    customers_per_district=100,
+    items=400,
+    initial_orders_per_district=60,
+)
+
+METHODS = ("PDL (256B)", "PDL (2KB)", "OPU")
+FRACTIONS = (0.01, 0.05, 0.1)
+
+
+def main():
+    print("scaled TPC-C: warehouses=1, districts=4, items=400")
+    print("transaction mix: NewOrder 45%, Payment 43%, OrderStatus 4%, "
+          "Delivery 4%, StockLevel 4%\n")
+    header = ["buffer"] + list(METHODS)
+    rows = []
+    baseline = {}
+    for fraction in FRACTIONS:
+        row = [f"{fraction:5.1%}"]
+        for label in METHODS:
+            m = run_tpcc(
+                label,
+                SCALE,
+                buffer_fraction=fraction,
+                n_transactions=300,
+                warmup_transactions=100,
+            )
+            row.append(f"{m.io_us_per_txn / 1000:8.2f} ms")
+            if label == "OPU":
+                baseline[fraction] = m.io_us_per_txn
+            elif label == "PDL (256B)":
+                baseline[(fraction, "pdl")] = m.io_us_per_txn
+        rows.append(row)
+    widths = [max(len(str(r[i])) for r in [header] + rows) for i in range(len(header))]
+    print("I/O time per transaction:")
+    print("  ".join(str(c).ljust(w) for c, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    print()
+    for fraction in FRACTIONS:
+        speedup = baseline[fraction] / baseline[(fraction, "pdl")]
+        print(f"buffer {fraction:5.1%}: PDL (256B) is {speedup:.2f}x faster than OPU")
+    print("\n(the paper reports 1.2x ~ 6.1x across its buffer-size sweep)")
+
+
+if __name__ == "__main__":
+    main()

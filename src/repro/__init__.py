@@ -1,0 +1,101 @@
+"""repro — a reproduction of *Page-Differential Logging* (SIGMOD 2010).
+
+Kim, Whang & Song propose PDL, a DBMS-independent page-update method for
+NAND flash that stores each logical page as a base page plus at most one
+*page-differential*.  This package re-implements the complete system:
+
+* :mod:`repro.flash` — a NAND chip emulator with the paper's Table-1
+  timing model, spare areas, wear counters and crash injection;
+* :mod:`repro.ftl` — the driver contract, the allocator/GC framework, and
+  the baselines the paper compares against (OPU, IPU, IPL);
+* :mod:`repro.core` — PDL itself: the differential codec, write buffer,
+  mapping/count tables, the PDL driver, and Figure 11's crash recovery;
+* :mod:`repro.storage` — a mini storage engine (buffer pool, slotted
+  pages, heap files, B+tree) standing in for the Odysseus ORDBMS;
+* :mod:`repro.workloads` — the paper's synthetic update operations and a
+  scaled TPC-C implementation;
+* :mod:`repro.bench` — orchestrators regenerating every figure of the
+  evaluation (Figures 12–18).
+
+Quickstart::
+
+    from repro import FlashChip, FlashSpec, PdlDriver
+
+    chip = FlashChip(FlashSpec(n_blocks=64))
+    pdl = PdlDriver(chip, max_differential_size=256)
+    pdl.load_page(0, b"a" * chip.spec.page_data_size)
+    page = bytearray(pdl.read_page(0))
+    page[100:110] = b"0123456789"
+    pdl.write_page(0, bytes(page))
+    assert pdl.read_page(0)[100:110] == b"0123456789"
+"""
+
+from .core import (
+    Differential,
+    DifferentialWriteBuffer,
+    PdlDriver,
+    PhysicalPageMappingTable,
+    RecoveryReport,
+    ValidDifferentialCountTable,
+    compute_runs,
+    recover_driver,
+)
+from .flash import (
+    BENCH_SPEC,
+    SAMSUNG_K9L8G08U0M,
+    TINY_SPEC,
+    CrashError,
+    FlashChip,
+    FlashSpec,
+    FlashStats,
+    PageType,
+    SpareArea,
+    spec_for_database,
+)
+from .ftl import (
+    ChangeRun,
+    IplDriver,
+    IpuDriver,
+    OpuDriver,
+    OutOfSpaceError,
+    PageUpdateMethod,
+    UnknownPageError,
+    apply_runs,
+)
+from .methods import PAPER_METHODS, PAPER_METHODS_NO_IPU, make_method, method_labels
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCH_SPEC",
+    "ChangeRun",
+    "CrashError",
+    "Differential",
+    "DifferentialWriteBuffer",
+    "FlashChip",
+    "FlashSpec",
+    "FlashStats",
+    "IplDriver",
+    "IpuDriver",
+    "OpuDriver",
+    "OutOfSpaceError",
+    "PAPER_METHODS",
+    "PAPER_METHODS_NO_IPU",
+    "PageType",
+    "PageUpdateMethod",
+    "PdlDriver",
+    "PhysicalPageMappingTable",
+    "RecoveryReport",
+    "SAMSUNG_K9L8G08U0M",
+    "SpareArea",
+    "TINY_SPEC",
+    "UnknownPageError",
+    "ValidDifferentialCountTable",
+    "apply_runs",
+    "compute_runs",
+    "make_method",
+    "method_labels",
+    "recover_driver",
+    "spec_for_database",
+    "__version__",
+]

@@ -1,0 +1,88 @@
+"""Command-line entry point: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench exp1 exp7
+    python -m repro.bench all --scale smoke
+    repro-bench exp1                     # installed console script
+
+Each experiment prints its table and persists JSON under
+``bench_results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List
+
+from .config import ENV_VAR, SCALES, current_scale
+from .experiments import ALL_EXPERIMENTS
+from .plotting import render_figure
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the tables and figures of the "
+        "page-differential-logging paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (see --list), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        help=f"benchmark scale (default from ${ENV_VAR}, else 'small')",
+    )
+    parser.add_argument(
+        "--no-save", action="store_true", help="skip writing bench_results/*.json"
+    )
+    parser.add_argument(
+        "--figure", action="store_true",
+        help="also draw an ASCII rendition of the figure",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for name in ALL_EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+
+    if args.scale:
+        os.environ[ENV_VAR] = args.scale
+    scale = current_scale()
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+
+    print(f"running at scale '{scale.name}' "
+          f"(db={scale.database_pages} pages, ops={scale.measure_ops})")
+    for name in names:
+        started = time.time()
+        table = ALL_EXPERIMENTS[name]()
+        print()
+        print(table.render())
+        if args.figure:
+            print()
+            print(render_figure(table))
+        if not args.no_save:
+            path = table.save()
+            print(f"  saved: {path}")
+        print(f"  elapsed: {time.time() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Benchmark scale profiles.
+
+Experiments run at three scales selected by the ``REPRO_BENCH_SCALE``
+environment variable:
+
+* ``smoke`` — seconds per experiment; CI-sized sanity runs.
+* ``small`` — the default; minutes for the full suite, large enough for
+  every qualitative shape in the paper to emerge.
+* ``paper`` — closest to the paper's 1 GB database (still scaled; the
+  full geometry would need ~4 GB of emulator state).
+
+All scales keep the paper's invariants: 2 KB pages, 64-page blocks,
+Table-1 latencies, and a database occupying ~25 % of chip capacity.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from ..workloads.runner import RunnerConfig
+from ..workloads.tpcc.schema import TpccScale
+
+ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One named benchmark scale."""
+
+    name: str
+    database_pages: int
+    measure_ops: int
+    tpcc_scale: TpccScale
+    tpcc_transactions: int
+    sweep_measure_ops: int  # cheaper windows for multi-point sweeps
+
+    def runner(self, **overrides) -> RunnerConfig:
+        config = RunnerConfig(
+            database_pages=self.database_pages,
+            measure_ops=self.measure_ops,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    def sweep_runner(self, **overrides) -> RunnerConfig:
+        config = RunnerConfig(
+            database_pages=self.database_pages,
+            measure_ops=self.sweep_measure_ops,
+        )
+        return replace(config, **overrides) if overrides else config
+
+
+SCALES = {
+    "smoke": BenchScale(
+        name="smoke",
+        database_pages=256,
+        measure_ops=150,
+        tpcc_scale=TpccScale(
+            warehouses=1,
+            districts_per_warehouse=2,
+            customers_per_district=60,
+            items=200,
+            initial_orders_per_district=40,
+        ),
+        tpcc_transactions=120,
+        sweep_measure_ops=100,
+    ),
+    "small": BenchScale(
+        name="small",
+        database_pages=1024,
+        measure_ops=1000,
+        tpcc_scale=TpccScale(
+            warehouses=1,
+            districts_per_warehouse=4,
+            customers_per_district=100,
+            items=500,
+            initial_orders_per_district=80,
+        ),
+        tpcc_transactions=400,
+        sweep_measure_ops=400,
+    ),
+    "paper": BenchScale(
+        name="paper",
+        database_pages=8192,
+        measure_ops=4000,
+        tpcc_scale=TpccScale(
+            warehouses=2,
+            districts_per_warehouse=10,
+            customers_per_district=300,
+            items=2000,
+            initial_orders_per_district=300,
+        ),
+        tpcc_transactions=1500,
+        sweep_measure_ops=1500,
+    ),
+}
+
+
+def current_scale() -> BenchScale:
+    """The scale selected by ``REPRO_BENCH_SCALE`` (default ``small``)."""
+    name = os.environ.get(ENV_VAR, "small").strip().lower()
+    if name not in SCALES:
+        raise ValueError(
+            f"{ENV_VAR}={name!r} unknown; choose from {sorted(SCALES)}"
+        )
+    return SCALES[name]

@@ -1,0 +1,119 @@
+"""ASCII rendering of the regenerated figures.
+
+Terminal-friendly bar and line charts so ``python -m repro.bench`` can
+literally draw the paper's figures from a :class:`ResultTable` — no
+plotting dependencies, deterministic output, easy to diff in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .reporting import ResultTable
+
+BAR_WIDTH = 48
+PLOT_WIDTH = 56
+PLOT_HEIGHT = 14
+
+
+def bar_chart(
+    table: ResultTable,
+    label_column: str,
+    value_column: str,
+    title: Optional[str] = None,
+    log_scale: bool = False,
+) -> str:
+    """Render one row per label as a horizontal bar (Figure-12 style)."""
+    labels = [str(v) for v in table.column(label_column)]
+    values = [float(v) for v in table.column(value_column)]
+    if not values:
+        return "(empty table)"
+    import math
+
+    def transform(v: float) -> float:
+        return math.log10(v + 1.0) if log_scale else v
+
+    peak = max(transform(v) for v in values) or 1.0
+    width = max(len(label) for label in labels)
+    lines = [title or f"{value_column} by {label_column}"]
+    for label, value in zip(labels, values):
+        filled = int(round(transform(value) / peak * BAR_WIDTH))
+        bar = "█" * max(filled, 1 if value > 0 else 0)
+        lines.append(f"{label.ljust(width)} | {bar} {value:,.1f}")
+    if log_scale:
+        lines.append(f"{'':{width}} | (log scale)")
+    return "\n".join(lines)
+
+
+def line_chart(
+    table: ResultTable,
+    x_column: str,
+    y_column: str,
+    series_column: str,
+    title: Optional[str] = None,
+    series_filter: Optional[Sequence[str]] = None,
+) -> str:
+    """Render multiple (x, y) series as an ASCII scatter/line plot
+    (Figure-13/18 style): one marker character per series."""
+    markers = "ox+*#@%&"
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    cols = list(table.columns)
+    xi, yi, si = cols.index(x_column), cols.index(y_column), cols.index(series_column)
+    for row in table.rows:
+        name = str(row[si])
+        if series_filter is not None and name not in series_filter:
+            continue
+        series.setdefault(name, []).append((float(row[xi]), float(row[yi])))
+    if not series:
+        return "(no series)"
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * PLOT_WIDTH for _ in range(PLOT_HEIGHT)]
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (PLOT_WIDTH - 1))
+            row_idx = PLOT_HEIGHT - 1 - int((y - y_lo) / y_span * (PLOT_HEIGHT - 1))
+            grid[row_idx][col] = marker
+    lines = [title or f"{y_column} vs {x_column}"]
+    lines.append(f"{y_hi:>12,.0f} ┐")
+    for row_cells in grid:
+        lines.append(" " * 12 + " │" + "".join(row_cells))
+    lines.append(f"{y_lo:>12,.0f} ┘" + "─" * PLOT_WIDTH)
+    lines.append(" " * 14 + f"{x_lo:<12,.3g}{'':^{PLOT_WIDTH - 24}}{x_hi:>12,.3g}")
+    lines.append(" " * 14 + f"({x_column})   " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def render_figure(table: ResultTable) -> str:
+    """Best-effort automatic figure for a known experiment table."""
+    exp = table.experiment
+    if exp.startswith("exp1"):
+        return bar_chart(table, "method", "overall_us",
+                         "Figure 12(c): overall time per update operation (us)",
+                         log_scale=True)
+    if exp.startswith("exp2"):
+        return line_chart(table, "n_updates", "overall_us", "method",
+                          "Figure 13: overall time vs N_updates_till_write")
+    if exp.startswith("exp3"):
+        return line_chart(table, "pct_changed", "overall_us", "method",
+                          "Figure 14: overall time vs %ChangedByOneU_Op")
+    if exp.startswith("exp4"):
+        return line_chart(table, "pct_update", "overall_us", "method",
+                          "Figure 15: time per op vs %UpdateOps")
+    if exp.startswith("exp5"):
+        return line_chart(table, "t_read_us", "overall_us", "method",
+                          "Figure 16: overall time vs Tread")
+    if exp.startswith("exp6"):
+        return line_chart(table, "n_updates", "erases_per_op", "method",
+                          "Figure 17: erases per update vs N_updates_till_write")
+    if exp.startswith("exp7"):
+        return line_chart(table, "buffer_fraction", "io_us_per_txn", "method",
+                          "Figure 18: TPC-C I/O per transaction vs buffer size")
+    return table.render()

@@ -1,0 +1,290 @@
+"""The page-differential: computation, serialization, and merging.
+
+The paper defines the *differential* of a logical page as the difference
+between the original (base) page in flash and the up-to-date page in
+memory (Section 4.1).  Unlike a log-based method's update-log history, a
+differential stores each changed region once — the paper's
+``aaaaaa → bbbbba → bcccba`` example yields the single region ``bcccb``
+rather than the two logs ``bbbbb`` and ``ccc``.
+
+Wire format (Section 4.2 gives the logical structure
+``<pid, timestamp, [offset, length, changed data]+>``; the concrete byte
+layout is ours, little-endian)::
+
+    entry  := u32 pid | u64 timestamp | u16 n_runs | u16 data_len
+              | n_runs × (u16 offset, u16 length) | run data…
+    page   := u16 magic 0xD1FF | u16 count | count × entry
+
+``data_len`` is redundant (the sum of run lengths) and validates decoding.
+The differential's *size* — what Max_Differential_Size compares against —
+is its full encoded length including all metadata, which is why a heavily
+updated page can exceed one page and trigger the paper's Case 3.
+
+Diffing is numpy-accelerated; changed regions separated by fewer
+unchanged bytes than a run header costs are coalesced (configurable
+``coalesce_gap``), trading a few unchanged bytes for less metadata.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ftl.base import ChangeRun
+
+_ENTRY_HEADER = struct.Struct("<IQHH")
+_RUN_HEADER = struct.Struct("<HH")
+_PAGE_HEADER = struct.Struct("<HH")
+
+ENTRY_HEADER_SIZE = _ENTRY_HEADER.size  # 16 bytes
+RUN_HEADER_SIZE = _RUN_HEADER.size  # 4 bytes
+PAGE_HEADER_SIZE = _PAGE_HEADER.size  # 4 bytes
+
+#: Magic tag of a differential page's data area.
+DIFF_PAGE_MAGIC = 0xD1FF
+
+#: Default coalescing distance: merging two runs separated by a gap of up
+#: to one run header's worth of unchanged bytes never grows the encoding.
+DEFAULT_COALESCE_GAP = RUN_HEADER_SIZE
+
+#: Default comparison granularity for PDL differentials.  The paper's
+#: differential "contains not only the changed data but also the meta
+#: data such as offsets and lengths", and footnote 16 observes the
+#: differential growing from 0 to one page and resetting through Case 3,
+#: averaging about half a page.  That sawtooth requires the encoded size
+#: to exceed one page *before* literally every byte has changed — i.e. a
+#: unit-granular encoder that emits one entry per changed unit.  16 bytes
+#: reproduces the paper's steady state; see DESIGN.md.
+DEFAULT_DIFF_UNIT = 16
+
+
+class DifferentialError(ValueError):
+    """Raised when encoded differential data cannot be decoded."""
+
+
+def compute_runs(
+    base: bytes, new: bytes, coalesce_gap: int = DEFAULT_COALESCE_GAP
+) -> Tuple[ChangeRun, ...]:
+    """Byte-wise difference of two equal-length pages as change runs.
+
+    Returns maximal runs of changed bytes; runs whose separating gap of
+    unchanged bytes is at most ``coalesce_gap`` are merged (the merged run
+    then carries those unchanged bytes, which is harmless on apply).
+    """
+    if len(base) != len(new):
+        raise ValueError(
+            f"page images differ in size: {len(base)} vs {len(new)} bytes"
+        )
+    if base == new:
+        return ()
+    a = np.frombuffer(base, dtype=np.uint8)
+    b = np.frombuffer(new, dtype=np.uint8)
+    changed = np.flatnonzero(a != b)
+    # Consecutive changed offsets whose distance exceeds gap+1 start a new run.
+    splits = np.flatnonzero(np.diff(changed) > coalesce_gap + 1)
+    starts = np.concatenate(([0], splits + 1))
+    ends = np.concatenate((splits, [len(changed) - 1]))
+    return tuple(
+        ChangeRun(int(changed[s]), new[int(changed[s]) : int(changed[e]) + 1])
+        for s, e in zip(starts, ends)
+    )
+
+
+def compute_unit_runs(base: bytes, new: bytes, unit: int = DEFAULT_DIFF_UNIT) -> Tuple[ChangeRun, ...]:
+    """Unit-granular difference: one run per changed ``unit``-byte chunk.
+
+    Pages are compared in fixed-size units; every unit containing at
+    least one changed byte is emitted as its own run carrying the unit's
+    full new contents.  Adjacent changed units are deliberately *not*
+    coalesced — per-unit entries keep the metadata overhead proportional
+    to coverage, which is what makes a heavily-updated page's
+    differential exceed one page and trigger PDL_Writing's Case 3 (the
+    sawtooth of the paper's footnote 16).
+    """
+    if len(base) != len(new):
+        raise ValueError(
+            f"page images differ in size: {len(base)} vs {len(new)} bytes"
+        )
+    if unit <= 0:
+        raise ValueError("unit must be positive")
+    if base == new:
+        return ()
+    a = np.frombuffer(base, dtype=np.uint8)
+    b = np.frombuffer(new, dtype=np.uint8)
+    n_full = len(base) // unit
+    changed_units: List[int] = []
+    if n_full:
+        full_a = a[: n_full * unit].reshape(n_full, unit)
+        full_b = b[: n_full * unit].reshape(n_full, unit)
+        changed_units = np.flatnonzero((full_a != full_b).any(axis=1)).tolist()
+    runs = [
+        ChangeRun(i * unit, new[i * unit : (i + 1) * unit]) for i in changed_units
+    ]
+    tail_start = n_full * unit
+    if tail_start < len(base) and base[tail_start:] != new[tail_start:]:
+        runs.append(ChangeRun(tail_start, new[tail_start:]))
+    return tuple(runs)
+
+
+@dataclass(frozen=True)
+class Differential:
+    """The differential of one logical page (Section 4.2).
+
+    ``timestamp`` is the creation time stamp recovery uses to identify the
+    most recent differential among surviving copies.
+    """
+
+    pid: int
+    timestamp: int
+    runs: Tuple[ChangeRun, ...]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pages(
+        cls,
+        pid: int,
+        timestamp: int,
+        base: bytes,
+        new: bytes,
+        coalesce_gap: int = DEFAULT_COALESCE_GAP,
+        unit: Optional[int] = DEFAULT_DIFF_UNIT,
+    ) -> "Differential":
+        """Create the differential between a base page and its new image.
+
+        With ``unit`` set (the default), the unit-granular encoder is used;
+        ``unit=None`` selects byte-wise maximal runs with gap coalescing
+        (the ablation configuration).
+        """
+        if unit is not None:
+            runs = compute_unit_runs(base, new, unit)
+        else:
+            runs = compute_runs(base, new, coalesce_gap)
+        return cls(pid=pid, timestamp=timestamp, runs=runs)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Encoded size in bytes, metadata included — the quantity compared
+        against Max_Differential_Size in PDL_Writing's three cases."""
+        return ENTRY_HEADER_SIZE + sum(
+            RUN_HEADER_SIZE + len(run.data) for run in self.runs
+        )
+
+    @property
+    def data_len(self) -> int:
+        return sum(len(run.data) for run in self.runs)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.runs
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, base: bytes) -> bytes:
+        """Merge this differential with its base page (PDL_Reading Step 3)."""
+        if not self.runs:
+            return base
+        image = bytearray(base)
+        for run in self.runs:
+            if run.end > len(image):
+                raise DifferentialError(
+                    f"run [{run.offset}, {run.end}) outside page of {len(image)} bytes"
+                )
+            image[run.offset : run.end] = run.data
+        return bytes(image)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        parts = [
+            _ENTRY_HEADER.pack(self.pid, self.timestamp, len(self.runs), self.data_len)
+        ]
+        for run in self.runs:
+            parts.append(_RUN_HEADER.pack(run.offset, len(run.data)))
+        for run in self.runs:
+            parts.append(run.data)
+        return b"".join(parts)
+
+    @classmethod
+    def decode_from(cls, buf: bytes, pos: int) -> Tuple["Differential", int]:
+        """Decode one entry starting at ``pos``; returns it and the new pos."""
+        if pos + ENTRY_HEADER_SIZE > len(buf):
+            raise DifferentialError("truncated differential entry header")
+        pid, timestamp, n_runs, data_len = _ENTRY_HEADER.unpack_from(buf, pos)
+        pos += ENTRY_HEADER_SIZE
+        headers: List[Tuple[int, int]] = []
+        for _ in range(n_runs):
+            if pos + RUN_HEADER_SIZE > len(buf):
+                raise DifferentialError("truncated differential run header")
+            offset, length = _RUN_HEADER.unpack_from(buf, pos)
+            pos += RUN_HEADER_SIZE
+            headers.append((offset, length))
+        runs: List[ChangeRun] = []
+        for offset, length in headers:
+            if pos + length > len(buf):
+                raise DifferentialError("truncated differential run data")
+            runs.append(ChangeRun(offset, bytes(buf[pos : pos + length])))
+            pos += length
+        diff = cls(pid=pid, timestamp=timestamp, runs=tuple(runs))
+        if diff.data_len != data_len:
+            raise DifferentialError(
+                f"differential for pid {pid} declares {data_len} data bytes "
+                f"but carries {diff.data_len}"
+            )
+        return diff, pos
+
+
+# ----------------------------------------------------------------------
+# Differential page codec
+# ----------------------------------------------------------------------
+
+def encode_differential_page(
+    diffs: Sequence[Differential], page_data_size: int
+) -> bytes:
+    """Pack differentials into one differential-page data area."""
+    parts = [_PAGE_HEADER.pack(DIFF_PAGE_MAGIC, len(diffs))]
+    total = PAGE_HEADER_SIZE
+    for diff in diffs:
+        encoded = diff.encode()
+        total += len(encoded)
+        parts.append(encoded)
+    if total > page_data_size:
+        raise DifferentialError(
+            f"{len(diffs)} differentials need {total} bytes; page holds "
+            f"{page_data_size}"
+        )
+    return b"".join(parts)
+
+
+def decode_differential_page(data: bytes) -> List[Differential]:
+    """Parse a differential page's data area into its entries."""
+    if len(data) < PAGE_HEADER_SIZE:
+        raise DifferentialError("differential page smaller than its header")
+    magic, count = _PAGE_HEADER.unpack_from(data, 0)
+    if magic != DIFF_PAGE_MAGIC:
+        raise DifferentialError(
+            f"not a differential page (magic 0x{magic:04X})"
+        )
+    diffs: List[Differential] = []
+    pos = PAGE_HEADER_SIZE
+    for _ in range(count):
+        diff, pos = Differential.decode_from(data, pos)
+        diffs.append(diff)
+    return diffs
+
+
+def find_differential(data: bytes, pid: int) -> Optional[Differential]:
+    """Locate ``pid``'s entry in a differential page (PDL_Reading Step 2)."""
+    for diff in decode_differential_page(data):
+        if diff.pid == pid:
+            return diff
+    return None

@@ -1,0 +1,208 @@
+"""PDL crash recovery — PDL_RecoveringfromCrash (Section 4.5, Figure 11).
+
+After a failure the physical page mapping table and the valid differential
+count table are volatile losses.  One scan over the flash reconstructs
+them: every page's spare area is read; differential pages additionally
+have their data areas read and parsed.  Creation time stamps disambiguate
+co-existing copies (a crash between "program new copy" and "obsolete old
+copy" leaves both):
+
+* a base page is adopted when strictly newer than the currently adopted
+  base for its pid; otherwise it is marked obsolete (ties arise only from
+  GC relocation, where both copies are identical, so either is fine);
+* a differential is adopted when strictly newer than both the adopted
+  base and the currently adopted differential for its pid;
+* differential pages ending the scan with zero adopted entries, and
+  superseded base pages, are marked obsolete — the scan's only writes,
+  which is why recovery is idempotent under repeated crashes.
+
+The tables recover exactly the state last made durable (buffer flush or
+write-through); differentials still in the in-memory write buffer at
+crash time are lost, the paper's file-buffer analogy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..flash.chip import FlashChip
+from ..flash.spare import PageType
+from ..ftl.gc import VictimPolicy, greedy_policy
+from .differential import DEFAULT_COALESCE_GAP, DifferentialError, decode_differential_page
+from .pdl import PdlDriver
+from .tables import PhysicalPageMappingTable, ValidDifferentialCountTable
+
+#: Accounting phase for the recovery scan.
+RECOVERY_PHASE = "recovery"
+
+
+@dataclass
+class RecoveryReport:
+    """What the scan found — useful for tests and operational logging."""
+
+    pages_scanned: int = 0
+    base_pages_adopted: int = 0
+    differentials_adopted: int = 0
+    stale_pages_obsoleted: int = 0
+    corrupt_differential_pages: int = 0
+    orphan_pids: List[int] = field(default_factory=list)
+    max_timestamp: int = 0
+
+
+def recover_tables(
+    chip: FlashChip,
+    ppmt: PhysicalPageMappingTable,
+    vdct: ValidDifferentialCountTable,
+) -> RecoveryReport:
+    """Rebuild ppmt and vdct by scanning flash (Figure 11).
+
+    The caller provides empty tables; the report carries scan statistics
+    and the largest timestamp seen (to resume the counter).
+    """
+    report = RecoveryReport()
+    diff_ts: Dict[int, int] = {}  # pid -> timestamp of adopted differential
+
+    def drop_diff(pid: int) -> None:
+        """decreaseValidDifferentialCount for pid's adopted differential."""
+        entry = ppmt.get(pid)
+        if entry is None or entry.diff_addr is None:
+            return
+        addr = entry.diff_addr
+        if vdct.decrement(addr):
+            chip.mark_obsolete(addr)
+            report.stale_pages_obsoleted += 1
+        entry.diff_addr = None
+        diff_ts.pop(pid, None)
+
+    with chip.stats.phase(RECOVERY_PHASE):
+        for addr in range(chip.spec.n_pages):
+            spare = chip.read_spare(addr)
+            report.pages_scanned += 1
+            if spare.is_erased or spare.obsolete:
+                continue
+            if spare.type is PageType.BASE:
+                _scan_base_page(chip, addr, spare.pid, spare.timestamp or 0,
+                                ppmt, diff_ts, drop_diff, report)
+            elif spare.type is PageType.DIFFERENTIAL:
+                _scan_diff_page(chip, addr, ppmt, vdct, diff_ts, drop_diff, report)
+            # Pages of other types (none in a pure-PDL deployment) are left
+            # untouched: recovery never destroys data it does not own.
+
+        # Entries whose base page never appeared cannot be served; their
+        # differentials alone cannot recreate a page.  This indicates an
+        # interrupted initial load; report and drop them.
+        orphans = [pid for pid, entry in ppmt.items() if entry.base_addr < 0]
+        for pid in orphans:
+            drop_diff(pid)
+            report.orphan_pids.append(pid)
+        for pid in orphans:
+            ppmt.remove(pid)
+
+    return report
+
+
+def _scan_base_page(chip, addr, pid, ts, ppmt, diff_ts, drop_diff, report) -> None:
+    """Case 1 of Figure 11: the scanned page is a base page."""
+    if pid is None:
+        report.corrupt_differential_pages += 1
+        return
+    entry = ppmt.get(pid)
+    if entry is None:
+        ppmt.set_base(pid, addr, ts)
+        report.base_pages_adopted += 1
+        report.max_timestamp = max(report.max_timestamp, ts)
+        return
+    current_diff = entry.diff_addr
+    if entry.base_addr >= 0 and ts <= entry.base_ts:
+        # The adopted base is at least as recent: r is a stale copy.
+        chip.mark_obsolete(addr)
+        report.stale_pages_obsoleted += 1
+        return
+    if entry.base_addr >= 0:
+        # r is a more recent base page; the old one is obsolete.
+        chip.mark_obsolete(entry.base_addr)
+        report.stale_pages_obsoleted += 1
+    entry.base_addr = addr
+    entry.base_ts = ts
+    entry.diff_addr = current_diff  # set_base would clear it; keep for the check below
+    report.base_pages_adopted += 1
+    report.max_timestamp = max(report.max_timestamp, ts)
+    if entry.diff_addr is not None and ts > diff_ts.get(pid, -1):
+        # The new base supersedes the adopted differential.
+        drop_diff(pid)
+
+
+def _scan_diff_page(chip, addr, ppmt, vdct, diff_ts, drop_diff, report) -> None:
+    """Case 2 of Figure 11: the scanned page is a differential page."""
+    data, _spare = chip.read_page(addr)
+    try:
+        diffs = decode_differential_page(data)
+    except DifferentialError:
+        report.corrupt_differential_pages += 1
+        chip.mark_obsolete(addr)
+        report.stale_pages_obsoleted += 1
+        return
+    adopted = 0
+    for diff in diffs:
+        entry = ppmt.get(diff.pid)
+        base_ts = entry.base_ts if entry is not None and entry.base_addr >= 0 else -1
+        if diff.timestamp <= base_ts:
+            continue  # older than the adopted base: stale
+        if diff.timestamp <= diff_ts.get(diff.pid, -1):
+            continue  # an at-least-as-recent differential was adopted
+        if entry is None:
+            # The differential precedes its base in scan order; register a
+            # placeholder row (base_addr < 0 marks "not yet seen").
+            ppmt.set_base(diff.pid, -1, -1)
+            entry = ppmt.require(diff.pid)
+        drop_diff(diff.pid)
+        entry.diff_addr = addr
+        diff_ts[diff.pid] = diff.timestamp
+        vdct.increment(addr)
+        adopted += 1
+        report.max_timestamp = max(report.max_timestamp, diff.timestamp)
+    report.differentials_adopted += adopted
+    if vdct.count(addr) == 0:
+        # No valid differential remains in r.
+        chip.mark_obsolete(addr)
+        report.stale_pages_obsoleted += 1
+
+
+def recover_driver(
+    chip: FlashChip,
+    max_differential_size: int = 256,
+    coalesce_gap: int = DEFAULT_COALESCE_GAP,
+    reserve_blocks: int = 2,
+    victim_policy: VictimPolicy = greedy_policy,
+    **driver_kwargs,
+) -> "tuple[PdlDriver, RecoveryReport]":
+    """Build a fully operational :class:`PdlDriver` from post-crash flash.
+
+    Reconstructs the tables (Figure 11), the allocator's validity bitmap
+    and free-block pool, and resumes the timestamp counter.  Fully-erased
+    blocks return to the free pool; partially-written blocks are sealed
+    until GC reclaims them.
+    """
+    driver = PdlDriver.__new__(PdlDriver)
+    PdlDriver.__init__(
+        driver,
+        chip,
+        max_differential_size=max_differential_size,
+        coalesce_gap=coalesce_gap,
+        reserve_blocks=reserve_blocks,
+        victim_policy=victim_policy,
+        **driver_kwargs,
+    )
+    # The fresh __init__ assumed an empty chip; rebuild its state.
+    driver.ppmt = PhysicalPageMappingTable()
+    driver.vdct = ValidDifferentialCountTable()
+    report = recover_tables(chip, driver.ppmt, driver.vdct)
+    valid: Set[int] = set()
+    for _pid, entry in driver.ppmt.items():
+        valid.add(entry.base_addr)
+    for diff_page in driver.vdct.pages():
+        valid.add(diff_page)
+    driver.blocks.rebuild(valid)
+    driver.resume_ts(report.max_timestamp)
+    return driver, report

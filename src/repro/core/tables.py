@@ -1,0 +1,125 @@
+"""PDL's in-memory tables (Section 4.2, Figure 6).
+
+* :class:`PhysicalPageMappingTable` (*ppmt*) maps a logical page id to its
+  base-page address and, when one exists, the address of the differential
+  page holding its current differential.  Indirection is required because
+  the out-place scheme moves physical pages.
+* :class:`ValidDifferentialCountTable` (*vdct*) counts, per differential
+  page, how many of its differentials are still current.  When the count
+  reaches zero the page is garbage and is marked obsolete.
+
+Both tables are volatile; :mod:`repro.core.recovery` reconstructs them
+from flash after a crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+
+@dataclass
+class MappingEntry:
+    """One ppmt row: where a logical page currently lives.
+
+    ``base_ts`` mirrors the creation time stamp stored in the base page's
+    spare area; keeping it in memory lets runtime code and the checkpoint
+    extension reason about recency without extra flash reads.
+    """
+
+    base_addr: int
+    base_ts: int
+    diff_addr: Optional[int] = None
+
+
+class PhysicalPageMappingTable:
+    """pid → (base page address, differential page address)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, MappingEntry] = {}
+
+    def get(self, pid: int) -> Optional[MappingEntry]:
+        return self._entries.get(pid)
+
+    def require(self, pid: int) -> MappingEntry:
+        entry = self._entries.get(pid)
+        if entry is None:
+            raise KeyError(f"logical page {pid} has no mapping entry")
+        return entry
+
+    def set_base(self, pid: int, addr: int, timestamp: int) -> None:
+        """Point ``pid`` at a new base page and clear its differential."""
+        entry = self._entries.get(pid)
+        if entry is None:
+            self._entries[pid] = MappingEntry(base_addr=addr, base_ts=timestamp)
+        else:
+            entry.base_addr = addr
+            entry.base_ts = timestamp
+            entry.diff_addr = None
+
+    def move_base(self, pid: int, addr: int) -> None:
+        """Relocate the base page (GC) without touching the differential."""
+        self.require(pid).base_addr = addr
+
+    def set_diff(self, pid: int, addr: Optional[int]) -> None:
+        self.require(pid).diff_addr = addr
+
+    def remove(self, pid: int) -> Optional[MappingEntry]:
+        """Drop a row entirely (recovery of orphaned entries)."""
+        return self._entries.pop(pid, None)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterator[Tuple[int, MappingEntry]]:
+        return iter(self._entries.items())
+
+    def pids(self) -> Iterator[int]:
+        return iter(self._entries.keys())
+
+
+class ValidDifferentialCountTable:
+    """differential page address → count of still-valid differentials."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    def increment(self, addr: int) -> None:
+        self._counts[addr] = self._counts.get(addr, 0) + 1
+
+    def decrement(self, addr: int) -> bool:
+        """Decrease the count; True when it reached zero (page is garbage).
+
+        The entry is removed at zero — the caller marks the physical page
+        obsolete (decreaseValidDifferentialCount in Figure 8).
+        """
+        count = self._counts.get(addr)
+        if count is None:
+            raise KeyError(f"differential page {addr} not tracked")
+        if count <= 1:
+            del self._counts[addr]
+            return True
+        self._counts[addr] = count - 1
+        return False
+
+    def count(self, addr: int) -> int:
+        return self._counts.get(addr, 0)
+
+    def remove(self, addr: int) -> int:
+        """Forget a page entirely (its block was erased by GC)."""
+        return self._counts.pop(addr, 0)
+
+    def pages(self) -> Iterator[int]:
+        return iter(self._counts.keys())
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._counts.items())
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def total_valid(self) -> int:
+        return sum(self._counts.values())

@@ -1,0 +1,95 @@
+"""The one-page differential write buffer (Section 4.2).
+
+Differentials of many logical pages are collected here and written to a
+single differential page when the buffer fills.  The buffer is exactly
+one page, "and thus, the memory usage is negligible"; its capacity is the
+page's data area minus the differential-page header.
+
+At most one differential per logical page is kept: inserting a newer
+differential first removes the old one (PDL_Writing Step 3), which is how
+PDL honours the at-most-one-page-writing principle no matter how many
+times a page was updated in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .differential import Differential
+
+
+class BufferFullError(RuntimeError):
+    """An insert was attempted that exceeds the buffer's capacity."""
+
+
+class DifferentialWriteBuffer:
+    """In-memory staging area for differentials, one physical page wide."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, Differential] = {}
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    # Space accounting
+    # ------------------------------------------------------------------
+    @property
+    def used(self) -> int:
+        """Bytes the buffered differentials would occupy when encoded."""
+        return self._used
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - self._used
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._entries
+
+    # ------------------------------------------------------------------
+    # Entry management
+    # ------------------------------------------------------------------
+    def get(self, pid: int) -> Optional[Differential]:
+        """The buffered differential for ``pid``, if any (PDL_Reading's
+        buffer-first lookup)."""
+        return self._entries.get(pid)
+
+    def put(self, diff: Differential) -> None:
+        """Insert a differential, replacing any older one for its pid.
+
+        The caller is responsible for ensuring fit (PDL_Writing's Case 1/2
+        distinction); violating it raises :class:`BufferFullError`.
+        """
+        self.remove(diff.pid)
+        if diff.size > self.free_space:
+            raise BufferFullError(
+                f"differential of {diff.size} bytes exceeds free space "
+                f"{self.free_space}"
+            )
+        self._entries[diff.pid] = diff
+        self._used += diff.size
+
+    def remove(self, pid: int) -> Optional[Differential]:
+        """Drop and return ``pid``'s differential, if buffered."""
+        diff = self._entries.pop(pid, None)
+        if diff is not None:
+            self._used -= diff.size
+        return diff
+
+    def drain(self) -> List[Differential]:
+        """Remove and return all entries in insertion order (buffer flush)."""
+        drained = list(self._entries.values())
+        self._entries.clear()
+        self._used = 0
+        return drained
+
+    def pids(self) -> List[int]:
+        return list(self._entries.keys())

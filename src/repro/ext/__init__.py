@@ -1,0 +1,17 @@
+"""Extensions (S11 in DESIGN.md): the paper's future-work items.
+
+* :mod:`repro.ext.checkpoint` — clean-shutdown mapping-table snapshots so
+  restarts avoid the full Figure-11 scan (Section 4.5's "further study").
+* :mod:`repro.ext.wear_leveling` — alternative GC victim policies
+  (footnote 4's orthogonal wear-leveling).
+"""
+
+from .checkpoint import CheckpointManager, RestartReport
+from .wear_leveling import round_robin_policy, wear_aware_policy
+
+__all__ = [
+    "CheckpointManager",
+    "RestartReport",
+    "round_robin_policy",
+    "wear_aware_policy",
+]

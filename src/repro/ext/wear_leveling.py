@@ -1,0 +1,64 @@
+"""Alternative GC victim-selection policies (the paper's footnote 4).
+
+The paper defers wear-leveling to orthogonal work but notes that such
+techniques "can be applied to the storage system independently of the
+page update methods".  These policies plug into the same
+:class:`GarbageCollector` used by OPU and PDL:
+
+* :func:`round_robin_policy` — cycle through candidate blocks, spreading
+  erases evenly regardless of garbage density (pure wear-leveling);
+* :func:`wear_aware_policy` — the classic cost-benefit compromise:
+  garbage reclaimed per erase, discounted by the block's wear.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ftl.allocator import BlockManager
+from ..ftl.gc import VictimPolicy
+
+
+def round_robin_policy() -> VictimPolicy:
+    """A stateful policy cycling through candidates in block order."""
+    cursor = 0
+
+    def policy(blocks: BlockManager) -> Optional[int]:
+        nonlocal cursor
+        candidates = sorted(blocks.victim_candidates())
+        usable = [b for b in candidates if blocks.garbage_in(b) > 0]
+        if not usable:
+            return None
+        for block in usable:
+            if block >= cursor:
+                cursor = block + 1
+                return block
+        cursor = usable[0] + 1
+        return usable[0]
+
+    return policy
+
+
+def wear_aware_policy(wear_weight: float = 1.0) -> VictimPolicy:
+    """Cost-benefit selection: maximize garbage / (1 + weight × wear).
+
+    With ``wear_weight=0`` this degenerates to the greedy policy; larger
+    weights trade reclamation efficiency for evener wear (lower maximum
+    per-block erase counts — the longevity metric of Experiment 6).
+    """
+
+    def policy(blocks: BlockManager) -> Optional[int]:
+        best: Optional[int] = None
+        best_score = 0.0
+        for block in blocks.victim_candidates():
+            garbage = blocks.garbage_in(block)
+            if garbage <= 0:
+                continue
+            wear = blocks.chip.erase_count(block)
+            score = garbage / (1.0 + wear_weight * wear)
+            if score > best_score:
+                best = block
+                best_score = score
+        return best
+
+    return policy

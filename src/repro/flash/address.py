@@ -1,0 +1,54 @@
+"""Physical page addressing helpers.
+
+The emulator addresses pages with a flat integer index
+(``block * pages_per_block + page``), which keeps mapping tables compact
+(plain ``dict[int, int]``) and cheap to copy.  :class:`PageAddress` is a
+small convenience view for code and error messages that want the
+``(block, page)`` decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from .errors import AddressError
+from .spec import FlashSpec
+
+
+class PageAddress(NamedTuple):
+    """A physical page location decomposed into block and in-block page."""
+
+    block: int
+    page: int
+
+    def flat(self, spec: FlashSpec) -> int:
+        """Return the flat index of this address under ``spec``."""
+        return self.block * spec.pages_per_block + self.page
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"b{self.block}:p{self.page}"
+
+
+def split_address(addr: int, spec: FlashSpec) -> PageAddress:
+    """Decompose a flat page index into ``(block, page)``.
+
+    Raises :class:`AddressError` when the index is outside the chip.
+    """
+    if not 0 <= addr < spec.n_pages:
+        raise AddressError(f"page address {addr} outside chip of {spec.n_pages} pages")
+    return PageAddress(addr // spec.pages_per_block, addr % spec.pages_per_block)
+
+
+def block_of(addr: int, spec: FlashSpec) -> int:
+    """Return the block index containing flat page address ``addr``."""
+    if not 0 <= addr < spec.n_pages:
+        raise AddressError(f"page address {addr} outside chip of {spec.n_pages} pages")
+    return addr // spec.pages_per_block
+
+
+def page_range_of_block(block: int, spec: FlashSpec) -> range:
+    """Return the flat page indices belonging to ``block``."""
+    if not 0 <= block < spec.n_blocks:
+        raise AddressError(f"block {block} outside chip of {spec.n_blocks} blocks")
+    start = block * spec.pages_per_block
+    return range(start, start + spec.pages_per_block)

@@ -1,0 +1,338 @@
+"""In-memory NAND flash chip emulator.
+
+The emulator enforces real NAND semantics (Section 2 of the paper):
+
+* the read/write unit is a page, the erase unit is a block;
+* an erased page reads as all bits 1 (``0xFF`` bytes);
+* programming can only clear bits (1 → 0) — overwriting a programmed data
+  area raises :class:`~repro.flash.errors.ProgramError`;
+* the spare area may be re-programmed a limited number of times between
+  erases (``FlashSpec.max_spare_programs``, 4 on the paper's chip), which
+  is how pages are marked obsolete without an erase;
+* log pages may be partially programmed in slots
+  (``FlashSpec.max_log_page_programs``), the relaxation IPL's cost model
+  requires (see DESIGN.md).
+
+Every operation charges its Table-1 latency to :class:`FlashStats` under
+the current accounting phase, and to a monotonic chip clock that survives
+stats resets.  The paper's own numbers come from exactly this kind of
+emulator ("access time using the emulator must be identical to that using
+the real flash memory"), so simulated I/O time is the faithful metric.
+
+Crash injection: :meth:`FlashChip.crash_after` makes the chip raise
+:class:`CrashError` before the N-th subsequent *mutating* operation.  Page
+programming is atomic at the chip level (Section 4.5), so the chip state
+a recovery algorithm sees is always a prefix of completed operations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from .address import page_range_of_block, split_address
+from .errors import (
+    AddressError,
+    CrashError,
+    EraseError,
+    ProgramError,
+    SpareProgramError,
+    WearOutError,
+)
+from .spare import SpareArea, erased_spare
+from .spec import FlashSpec
+from .stats import FlashStats
+
+
+def _bits_compatible(old: bytes, new: bytes) -> bool:
+    """True when programming ``new`` over ``old`` only clears bits."""
+    old_int = int.from_bytes(old, "little")
+    new_int = int.from_bytes(new, "little")
+    return old_int & new_int == new_int
+
+
+class FlashChip:
+    """An emulated NAND flash chip.
+
+    Parameters
+    ----------
+    spec:
+        Chip geometry and latencies.
+    stats:
+        Optional pre-built stats collector (a fresh one is created by
+        default).
+    """
+
+    def __init__(self, spec: FlashSpec, stats: Optional[FlashStats] = None):
+        self.spec = spec
+        self.stats = stats or FlashStats(
+            spec.n_blocks, spec.t_read_us, spec.t_write_us, spec.t_erase_us
+        )
+        # None = erased.  Data and spare stored separately so spare
+        # re-programming does not copy the 2 KB data area.
+        self._data: List[Optional[bytes]] = [None] * spec.n_pages
+        self._spare: List[Optional[bytes]] = [None] * spec.n_pages
+        self._data_programs: List[int] = [0] * spec.n_pages
+        self._spare_programs: List[int] = [0] * spec.n_pages
+        self._erase_counts: List[int] = [0] * spec.n_blocks
+        self._clock_us: float = 0.0
+        self._crash_countdown: Optional[int] = None
+        self._on_op: Optional[Callable[[str], None]] = None
+
+    # ------------------------------------------------------------------
+    # Fault / observation hooks
+    # ------------------------------------------------------------------
+    def crash_after(self, mutating_ops: Optional[int]) -> None:
+        """Raise :class:`CrashError` before the N-th next mutating op.
+
+        ``crash_after(0)`` makes the very next program/erase fail;
+        ``crash_after(None)`` disarms the hook.
+        """
+        if mutating_ops is not None and mutating_ops < 0:
+            raise ValueError("mutating_ops must be >= 0 or None")
+        self._crash_countdown = mutating_ops
+
+    def on_operation(self, callback: Optional[Callable[[str], None]]) -> None:
+        """Install a per-operation observer (used by failure-injection tests)."""
+        self._on_op = callback
+
+    def _pre_mutate(self, op: str) -> None:
+        if self._crash_countdown is not None:
+            if self._crash_countdown <= 0:
+                self._crash_countdown = None
+                raise CrashError(f"simulated power failure before {op}")
+            self._crash_countdown -= 1
+        if self._on_op is not None:
+            self._on_op(op)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def clock_us(self) -> float:
+        """Simulated microseconds elapsed since chip creation.
+
+        Unlike :class:`FlashStats`, the clock is never reset, so it can
+        order events across warm-up boundaries.
+        """
+        return self._clock_us
+
+    # ------------------------------------------------------------------
+    # Read operations
+    # ------------------------------------------------------------------
+    def read_page(self, addr: int) -> Tuple[bytes, SpareArea]:
+        """Read a page's data area and decoded spare area (one Tread)."""
+        self._check_addr(addr)
+        self.stats.record_read()
+        self._clock_us += self.spec.t_read_us
+        data = self._data[addr]
+        if data is None:
+            data = b"\xff" * self.spec.page_data_size
+        return data, self._decoded_spare(addr)
+
+    def read_spare(self, addr: int) -> SpareArea:
+        """Read only the spare area (still one Tread, as in the paper's
+        recovery-scan cost estimate of ~60 s for 1 GB)."""
+        self._check_addr(addr)
+        self.stats.record_read()
+        self._clock_us += self.spec.t_read_us
+        return self._decoded_spare(addr)
+
+    # ------------------------------------------------------------------
+    # Program operations
+    # ------------------------------------------------------------------
+    def program_page(self, addr: int, data: bytes, spare: SpareArea) -> None:
+        """Program a full page (data + spare) in one Twrite.
+
+        The data area must currently be erased: NAND forbids overwriting.
+        Short ``data`` is padded with ``0xFF`` (unprogrammed bits).
+        """
+        self._check_addr(addr)
+        if len(data) > self.spec.page_data_size:
+            raise ProgramError(
+                f"data of {len(data)} bytes exceeds page data area "
+                f"of {self.spec.page_data_size}"
+            )
+        if self._data[addr] is not None:
+            raise ProgramError(
+                f"page {split_address(addr, self.spec)} already programmed; "
+                "erase the block before rewriting"
+            )
+        self._pre_mutate("program_page")
+        self.stats.record_write()
+        self._clock_us += self.spec.t_write_us
+        if len(data) < self.spec.page_data_size:
+            data = bytes(data) + b"\xff" * (self.spec.page_data_size - len(data))
+        self._data[addr] = bytes(data)
+        self._spare[addr] = spare.encode(self.spec.page_spare_size)
+        self._data_programs[addr] = 1
+        self._spare_programs[addr] = 1
+
+    def program_partial(
+        self, addr: int, offset: int, data: bytes, spare: Optional[SpareArea] = None
+    ) -> None:
+        """Program a slice of a page's data area (one Twrite).
+
+        Used for IPL log pages, which accumulate log slots across several
+        partial programs.  The target byte range must still be erased and
+        the page's partial-program budget must not be exhausted.  ``spare``
+        is programmed alongside the first partial program only.
+        """
+        self._check_addr(addr)
+        if offset < 0 or offset + len(data) > self.spec.page_data_size:
+            raise ProgramError(
+                f"partial program [{offset}, {offset + len(data)}) outside "
+                f"data area of {self.spec.page_data_size} bytes"
+            )
+        current = self._data[addr]
+        if current is None:
+            current = b"\xff" * self.spec.page_data_size
+        region = current[offset : offset + len(data)]
+        if region.count(0xFF) != len(region):
+            raise ProgramError(
+                f"partial program overlaps programmed bytes at "
+                f"{split_address(addr, self.spec)}+{offset}"
+            )
+        if self._data_programs[addr] >= self.spec.max_log_page_programs:
+            raise ProgramError(
+                f"page {split_address(addr, self.spec)} exhausted its "
+                f"{self.spec.max_log_page_programs} partial programs"
+            )
+        self._pre_mutate("program_partial")
+        self.stats.record_write()
+        self._clock_us += self.spec.t_write_us
+        updated = bytearray(current)
+        updated[offset : offset + len(data)] = data
+        self._data[addr] = bytes(updated)
+        self._data_programs[addr] += 1
+        if self._spare[addr] is None:
+            chosen = spare if spare is not None else SpareArea()
+            self._spare[addr] = chosen.encode(self.spec.page_spare_size)
+            self._spare_programs[addr] = 1
+
+    def program_spare(self, addr: int, spare: SpareArea) -> None:
+        """Re-program only the spare area (one Twrite).
+
+        This is how pages are marked obsolete.  The new contents must be
+        bit-compatible with the current spare (1 → 0 only) and the spare
+        program budget (4 on the paper's chip) must not be exceeded.
+        """
+        self._check_addr(addr)
+        encoded = spare.encode(self.spec.page_spare_size)
+        current = self._spare[addr]
+        if current is not None and not _bits_compatible(current, encoded):
+            raise SpareProgramError(
+                f"spare reprogram at {split_address(addr, self.spec)} "
+                "would set bits from 0 to 1"
+            )
+        if self._spare_programs[addr] >= self.spec.max_spare_programs:
+            raise SpareProgramError(
+                f"spare area at {split_address(addr, self.spec)} exhausted its "
+                f"{self.spec.max_spare_programs} programs"
+            )
+        self._pre_mutate("program_spare")
+        self.stats.record_write()
+        self._clock_us += self.spec.t_write_us
+        self._spare[addr] = encoded
+        self._spare_programs[addr] += 1
+
+    def mark_obsolete(self, addr: int) -> None:
+        """Clear the obsolete flag byte in a page's spare area (one Twrite).
+
+        This is the paper's "setting the page to obsolete": a second spare
+        program that only clears bits, charged as a write operation (the
+        paper counts OPU as *two* writes per update for exactly this
+        reason).  Marking an erased page obsolete is rejected — it would
+        hide an FTL bookkeeping bug.
+        """
+        self._check_addr(addr)
+        current = self._spare[addr]
+        if current is None:
+            raise ProgramError(
+                f"cannot obsolete erased page {split_address(addr, self.spec)}"
+            )
+        if self._spare_programs[addr] >= self.spec.max_spare_programs:
+            raise SpareProgramError(
+                f"spare area at {split_address(addr, self.spec)} exhausted its "
+                f"{self.spec.max_spare_programs} programs"
+            )
+        self._pre_mutate("mark_obsolete")
+        self.stats.record_write()
+        self._clock_us += self.spec.t_write_us
+        patched = bytearray(current)
+        patched[1] = 0x00
+        self._spare[addr] = bytes(patched)
+        self._spare_programs[addr] += 1
+
+    # ------------------------------------------------------------------
+    # Erase
+    # ------------------------------------------------------------------
+    def erase_block(self, block: int) -> None:
+        """Erase a block: every page returns to all bits 1 (one Terase)."""
+        if not 0 <= block < self.spec.n_blocks:
+            raise AddressError(f"block {block} outside chip of {self.spec.n_blocks}")
+        if (
+            self.spec.enforce_endurance
+            and self._erase_counts[block] >= self.spec.erase_endurance
+        ):
+            raise WearOutError(
+                f"block {block} exceeded endurance of {self.spec.erase_endurance}"
+            )
+        self._pre_mutate("erase_block")
+        self.stats.record_erase(block)
+        self._clock_us += self.spec.t_erase_us
+        for addr in page_range_of_block(block, self.spec):
+            self._data[addr] = None
+            self._spare[addr] = None
+            self._data_programs[addr] = 0
+            self._spare_programs[addr] = 0
+        self._erase_counts[block] += 1
+
+    # ------------------------------------------------------------------
+    # Cost-free inspection (tests, assertions, recovery verification)
+    # ------------------------------------------------------------------
+    def peek_data(self, addr: int) -> bytes:
+        """Data area contents without charging I/O time (test/debug only)."""
+        self._check_addr(addr)
+        data = self._data[addr]
+        return data if data is not None else b"\xff" * self.spec.page_data_size
+
+    def peek_spare(self, addr: int) -> SpareArea:
+        """Decoded spare area without charging I/O time (test/debug only)."""
+        self._check_addr(addr)
+        return self._decoded_spare(addr)
+
+    def is_page_erased(self, addr: int) -> bool:
+        self._check_addr(addr)
+        return self._data[addr] is None and self._spare[addr] is None
+
+    def is_block_erased(self, block: int) -> bool:
+        return all(
+            self.is_page_erased(addr)
+            for addr in page_range_of_block(block, self.spec)
+        )
+
+    def erase_count(self, block: int) -> int:
+        if not 0 <= block < self.spec.n_blocks:
+            raise AddressError(f"block {block} outside chip of {self.spec.n_blocks}")
+        return self._erase_counts[block]
+
+    def iter_programmed_pages(self) -> Iterator[int]:
+        """Flat addresses of all pages with a programmed spare area."""
+        for addr, spare in enumerate(self._spare):
+            if spare is not None:
+                yield addr
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _decoded_spare(self, addr: int) -> SpareArea:
+        raw = self._spare[addr]
+        if raw is None:
+            raw = erased_spare(self.spec.page_spare_size)
+        return SpareArea.decode(raw)
+
+    def _check_addr(self, addr: int) -> None:
+        if not 0 <= addr < self.spec.n_pages:
+            raise AddressError(
+                f"page address {addr} outside chip of {self.spec.n_pages} pages"
+            )

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the NAND flash emulator.
+
+Every error raised by :mod:`repro.flash` derives from :class:`FlashError`,
+so callers (drivers, the GC engine, tests) can catch emulator failures
+without accidentally swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class FlashError(Exception):
+    """Base class for all flash emulator errors."""
+
+
+class AddressError(FlashError):
+    """A block or page address is outside the chip geometry."""
+
+
+class ProgramError(FlashError):
+    """An illegal program (write) operation.
+
+    NAND flash can only change bits from 1 to 0; programming a page whose
+    current contents are incompatible with the requested data, or exceeding
+    the per-page partial-program budget, raises this error.
+    """
+
+
+class EraseError(FlashError):
+    """An illegal erase operation (e.g. erasing a bad block)."""
+
+
+class WearOutError(FlashError):
+    """A block exceeded its erase endurance limit.
+
+    The emulator only raises this when ``FlashSpec.enforce_endurance`` is
+    set; by default wear is merely counted, mirroring the paper, which
+    reports erase counts (Experiment 6) but does not fail blocks.
+    """
+
+
+class CrashError(FlashError):
+    """Raised by the crash-injection hook to simulate a power failure.
+
+    The chip guarantees operation atomicity (page programming is atomic at
+    the chip level, as the paper notes in Section 4.5), so a crash occurs
+    *between* operations: the in-flight operation either fully completed or
+    never happened.
+    """
+
+
+class SpareProgramError(ProgramError):
+    """The spare area of a page was programmed more times than allowed."""

@@ -1,0 +1,129 @@
+"""Spare (out-of-band) area codec.
+
+Each flash page carries a small spare area next to its data area.  The
+paper stores there the page *type* (base or differential), the *physical
+page ID* of the logical page a base page holds, the *creation time stamp*
+used by crash recovery to pick the most recent copy, and the *obsolete
+bit* flipped when a page's contents are superseded (Section 4.2).
+
+NAND constraints shape the encoding: a fresh spare area reads as all
+``0xFF`` and programming can only clear bits, so the valid/obsolete flag
+is a byte that starts at ``0xFF`` (valid) and is cleared to ``0x00``
+(obsolete) by a second spare program — footnote 9 allows up to four spare
+programs between erases.
+
+Layout (16-byte header, remaining spare bytes left ``0xFF``)::
+
+    [0]     type byte   (0xB5 base / 0xDF differential / 0x0D raw data)
+    [1]     obsolete    (0xFF valid, 0x00 obsolete)
+    [2:6]   pid         (u32 little-endian; 0xFFFFFFFF = none)
+    [6:14]  timestamp   (u64 little-endian; all-ones = none)
+    [14:16] reserved    (0xFF)
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+HEADER_SIZE = 16
+_HEADER = struct.Struct("<BBIQ2s")
+
+NO_PID = 0xFFFFFFFF
+NO_TS = 0xFFFFFFFFFFFFFFFF
+
+
+class PageType(enum.IntEnum):
+    """Role of a physical page, stored as the spare type byte.
+
+    Values are chosen so that an erased (all-``0xFF``) spare area decodes
+    as :attr:`ERASED` without special-casing.
+    """
+
+    ERASED = 0xFF
+    BASE = 0xB5
+    DIFFERENTIAL = 0xDF
+    DATA = 0x0D
+    LOG = 0x1C
+    CHECKPOINT = 0xC5
+
+
+_VALID_TYPES = {int(t) for t in PageType}
+
+
+@dataclass(frozen=True)
+class SpareArea:
+    """Decoded spare-area header of one physical page."""
+
+    type: PageType = PageType.ERASED
+    obsolete: bool = False
+    pid: Optional[int] = None
+    timestamp: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, spare_size: int) -> bytes:
+        """Serialize to ``spare_size`` bytes (header + 0xFF padding)."""
+        if spare_size < HEADER_SIZE:
+            raise ValueError(f"spare area of {spare_size} bytes cannot hold header")
+        pid = NO_PID if self.pid is None else self.pid
+        ts = NO_TS if self.timestamp is None else self.timestamp
+        if not 0 <= pid <= NO_PID:
+            raise ValueError(f"pid {pid} out of u32 range")
+        if not 0 <= ts <= NO_TS:
+            raise ValueError(f"timestamp {ts} out of u64 range")
+        header = _HEADER.pack(
+            int(self.type),
+            0x00 if self.obsolete else 0xFF,
+            pid,
+            ts,
+            b"\xff\xff",
+        )
+        return header + b"\xff" * (spare_size - HEADER_SIZE)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "SpareArea":
+        """Parse a spare area; unknown type bytes decode as ERASED."""
+        if len(raw) < HEADER_SIZE:
+            raise ValueError(f"spare area of {len(raw)} bytes too small to decode")
+        type_byte, valid_byte, pid, ts, _reserved = _HEADER.unpack_from(raw, 0)
+        page_type = PageType(type_byte) if type_byte in _VALID_TYPES else PageType.ERASED
+        return cls(
+            type=page_type,
+            obsolete=valid_byte != 0xFF,
+            pid=None if pid == NO_PID else pid,
+            timestamp=None if ts == NO_TS else ts,
+        )
+
+    # ------------------------------------------------------------------
+    # Derived updates
+    # ------------------------------------------------------------------
+    def as_obsolete(self) -> "SpareArea":
+        """Return a copy with the obsolete flag set.
+
+        Only bit-clearing transitions are produced, so re-programming the
+        spare area with the encoded result is always NAND-legal.
+        """
+        return SpareArea(
+            type=self.type,
+            obsolete=True,
+            pid=self.pid,
+            timestamp=self.timestamp,
+        )
+
+    @property
+    def is_erased(self) -> bool:
+        return self.type is PageType.ERASED
+
+    @property
+    def is_valid(self) -> bool:
+        """True for a programmed page that has not been obsoleted."""
+        return self.type is not PageType.ERASED and not self.obsolete
+
+
+def erased_spare(spare_size: int) -> bytes:
+    """The raw contents of an erased spare area (all bits 1)."""
+    return b"\xff" * spare_size

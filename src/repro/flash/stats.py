@@ -1,0 +1,204 @@
+"""Operation accounting and the simulated I/O clock.
+
+The paper's metric is *I/O time*: wall-clock time spent in the flash
+emulator, which by construction equals the sum of per-operation latencies
+from Table 1.  :class:`FlashStats` therefore keeps exact operation counts
+and charges each operation's latency to a simulated clock — the reported
+microseconds are deterministic and independent of host speed.
+
+Costs are attributed to *phases* so experiments can split a bar the way
+Figure 12 does (read step vs. write step, with the GC share of the write
+step shown separately).  Drivers push a phase around each entry point::
+
+    with chip.stats.phase("write_step"):
+        ...              # programs, obsolete marks
+        with chip.stats.phase("gc"):
+            ...          # relocations + erase, still inside the write step
+
+Phases nest; an operation is charged to the innermost phase only, so
+"write_step" and "gc" partition the write path and Figure 12's total is
+simply their sum.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: Phase used when no phase was pushed (initial load, ad-hoc access).
+DEFAULT_PHASE = "unattributed"
+
+#: Conventional phase names used by the drivers and reports.
+READ_STEP = "read_step"
+WRITE_STEP = "write_step"
+GC = "gc"
+
+
+@dataclass
+class OpCounts:
+    """Operation counts and simulated time for one phase."""
+
+    reads: int = 0
+    writes: int = 0
+    erases: int = 0
+    time_us: float = 0.0
+
+    def copy(self) -> "OpCounts":
+        return OpCounts(self.reads, self.writes, self.erases, self.time_us)
+
+    def add(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            self.reads + other.reads,
+            self.writes + other.writes,
+            self.erases + other.erases,
+            self.time_us + other.time_us,
+        )
+
+    def sub(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            self.reads - other.reads,
+            self.writes - other.writes,
+            self.erases - other.erases,
+            self.time_us - other.time_us,
+        )
+
+    @property
+    def total_ops(self) -> int:
+        return self.reads + self.writes + self.erases
+
+
+class FlashStats:
+    """Accumulates per-phase operation counts for one chip.
+
+    Besides phase accounting, it tracks per-block erase counts (wear) for
+    Experiment 6 and the longevity discussion, and exposes snapshot/delta
+    helpers so a workload can measure only its steady-state window.
+    """
+
+    def __init__(self, n_blocks: int, t_read_us: float, t_write_us: float, t_erase_us: float):
+        self._t_read = t_read_us
+        self._t_write = t_write_us
+        self._t_erase = t_erase_us
+        self.phases: Dict[str, OpCounts] = {}
+        self.block_erases: List[int] = [0] * n_blocks
+        self._phase_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Phase management
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute operations inside the block to phase ``name``."""
+        self._phase_stack.append(name)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    @property
+    def current_phase(self) -> str:
+        return self._phase_stack[-1] if self._phase_stack else DEFAULT_PHASE
+
+    def _bucket(self) -> OpCounts:
+        name = self.current_phase
+        bucket = self.phases.get(name)
+        if bucket is None:
+            bucket = OpCounts()
+            self.phases[name] = bucket
+        return bucket
+
+    # ------------------------------------------------------------------
+    # Recording (called by the chip)
+    # ------------------------------------------------------------------
+    def record_read(self) -> None:
+        bucket = self._bucket()
+        bucket.reads += 1
+        bucket.time_us += self._t_read
+
+    def record_write(self) -> None:
+        bucket = self._bucket()
+        bucket.writes += 1
+        bucket.time_us += self._t_write
+
+    def record_erase(self, block: int) -> None:
+        bucket = self._bucket()
+        bucket.erases += 1
+        bucket.time_us += self._t_erase
+        self.block_erases[block] += 1
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def totals(self) -> OpCounts:
+        """Sum over all phases."""
+        total = OpCounts()
+        for counts in self.phases.values():
+            total = total.add(counts)
+        return total
+
+    def of_phase(self, name: str) -> OpCounts:
+        return self.phases.get(name, OpCounts()).copy()
+
+    @property
+    def total_time_us(self) -> float:
+        return self.totals().time_us
+
+    @property
+    def total_erases(self) -> int:
+        return self.totals().erases
+
+    def snapshot(self) -> "StatsSnapshot":
+        """Freeze current counters; subtract later with ``delta_since``."""
+        return StatsSnapshot(
+            phases={name: counts.copy() for name, counts in self.phases.items()},
+            block_erases=list(self.block_erases),
+        )
+
+    def delta_since(self, snap: "StatsSnapshot") -> "StatsSnapshot":
+        """Counters accumulated since ``snap`` was taken."""
+        phases: Dict[str, OpCounts] = {}
+        for name, counts in self.phases.items():
+            before = snap.phases.get(name, OpCounts())
+            diff = counts.sub(before)
+            if diff.total_ops or diff.time_us:
+                phases[name] = diff
+        erases = [now - then for now, then in zip(self.block_erases, snap.block_erases)]
+        return StatsSnapshot(phases=phases, block_erases=erases)
+
+    def reset(self) -> None:
+        """Clear all counters (e.g. after loading + warm-up)."""
+        self.phases.clear()
+        self.block_erases = [0] * len(self.block_erases)
+
+
+@dataclass
+class StatsSnapshot:
+    """An immutable view of counters, used for steady-state windows."""
+
+    phases: Dict[str, OpCounts] = field(default_factory=dict)
+    block_erases: List[int] = field(default_factory=list)
+
+    def totals(self) -> OpCounts:
+        total = OpCounts()
+        for counts in self.phases.values():
+            total = total.add(counts)
+        return total
+
+    def of_phase(self, name: str) -> OpCounts:
+        return self.phases.get(name, OpCounts()).copy()
+
+    @property
+    def total_time_us(self) -> float:
+        return self.totals().time_us
+
+    @property
+    def total_erases(self) -> int:
+        return self.totals().erases
+
+    def time_of(self, *names: str) -> float:
+        """Simulated time summed across the given phases."""
+        return sum(self.of_phase(name).time_us for name in names)
+
+    def max_block_erases(self) -> int:
+        return max(self.block_erases, default=0)

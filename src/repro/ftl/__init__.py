@@ -1,0 +1,36 @@
+"""FTL layer: driver contract, allocator/GC framework, baseline methods.
+
+* :class:`PageUpdateMethod` — the driver contract all methods implement.
+* :class:`BlockManager` / :class:`GarbageCollector` — out-place free-space
+  management shared by OPU and PDL.
+* :class:`OpuDriver` / :class:`IpuDriver` — the page-based baselines.
+* :class:`IplDriver` — the log-based baseline (in-page logging).
+"""
+
+from .allocator import BlockManager
+from .base import ChangeRun, PageUpdateMethod, apply_runs
+from .errors import ConfigurationError, FtlError, OutOfSpaceError, UnknownPageError
+from .gc import GarbageCollector, RelocationHandler, VictimPolicy, greedy_policy
+from .ipl import IplDriver, decode_slot, encode_slot
+from .ipu import IpuDriver
+from .opu import OpuDriver
+
+__all__ = [
+    "BlockManager",
+    "ChangeRun",
+    "ConfigurationError",
+    "FtlError",
+    "GarbageCollector",
+    "IplDriver",
+    "IpuDriver",
+    "OpuDriver",
+    "OutOfSpaceError",
+    "PageUpdateMethod",
+    "RelocationHandler",
+    "UnknownPageError",
+    "VictimPolicy",
+    "apply_runs",
+    "decode_slot",
+    "encode_slot",
+    "greedy_policy",
+]

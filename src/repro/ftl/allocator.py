@@ -1,0 +1,196 @@
+"""Free-space management for out-place drivers (OPU and PDL).
+
+NAND forbids in-place overwrite, so out-place drivers append new physical
+pages and leave superseded copies behind as garbage.  :class:`BlockManager`
+owns that lifecycle:
+
+* blocks start *free* (erased); one *active* block serves allocations
+  page-by-page;
+* a RAM validity bitmap tracks which physical pages hold live data —
+  drivers call :meth:`note_valid` when they program a page and
+  :meth:`note_invalid` when its contents are superseded;
+* when the free-block pool falls to the reserve level, the registered
+  garbage collector is invoked *before* the pool is tapped, and GC
+  relocations allocate with ``for_gc=True`` so they can dip into the
+  reserve without recursing.
+
+The reserve (default 2 blocks) guarantees GC can always relocate a
+victim's valid pages: a victim holds at most one block's worth of valid
+data, which fits in the active block's tail plus one reserve block.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Iterable, List, Optional, Set
+
+from ..flash.chip import FlashChip
+from ..flash.spec import FlashSpec
+from .errors import OutOfSpaceError
+
+
+class BlockManager:
+    """Tracks free blocks, the active allocation point, and page validity."""
+
+    def __init__(
+        self, chip: FlashChip, reserve_blocks: int = 2, exclude_blocks: int = 0
+    ):
+        if reserve_blocks < 1:
+            raise ValueError("reserve_blocks must be at least 1")
+        if exclude_blocks < 0:
+            raise ValueError("exclude_blocks must be non-negative")
+        if chip.spec.n_blocks <= reserve_blocks + exclude_blocks:
+            raise ValueError(
+                f"chip of {chip.spec.n_blocks} blocks cannot sustain a reserve "
+                f"of {reserve_blocks} plus {exclude_blocks} excluded blocks"
+            )
+        self.chip = chip
+        self.spec: FlashSpec = chip.spec
+        self.reserve_blocks = reserve_blocks
+        #: The first ``exclude_blocks`` blocks are owned by someone else
+        #: (e.g. the checkpoint region) and never allocated or collected.
+        self.exclude_blocks = exclude_blocks
+        self._free: Deque[int] = deque(range(exclude_blocks, self.spec.n_blocks))
+        self._is_free: List[bool] = [
+            block >= exclude_blocks for block in range(self.spec.n_blocks)
+        ]
+        self._active: Optional[int] = None
+        self._next_page: int = 0
+        self._valid: List[bool] = [False] * self.spec.n_pages
+        self._valid_per_block: List[int] = [0] * self.spec.n_blocks
+        self._gc: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_gc(self, collect: Callable[[], None]) -> None:
+        """Register the GC entry point invoked when free blocks run low."""
+        self._gc = collect
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, for_gc: bool = False) -> int:
+        """Return the next free physical page address.
+
+        Regular allocations trigger GC when the pool is at the reserve
+        level; GC relocations (``for_gc=True``) may consume the reserve.
+        """
+        if self._active is None or self._next_page >= self.spec.pages_per_block:
+            self._open_new_block(for_gc)
+        assert self._active is not None
+        addr = self._active * self.spec.pages_per_block + self._next_page
+        self._next_page += 1
+        return addr
+
+    def _open_new_block(self, for_gc: bool) -> None:
+        if not for_gc and self._gc is not None and len(self._free) <= self.reserve_blocks:
+            self._gc()
+        if not self._free:
+            raise OutOfSpaceError("no free blocks remain on the chip")
+        block = self._free.popleft()
+        self._is_free[block] = False
+        self._active = block
+        self._next_page = 0
+
+    # ------------------------------------------------------------------
+    # Validity tracking
+    # ------------------------------------------------------------------
+    def note_valid(self, addr: int) -> None:
+        """Record that ``addr`` now holds live data."""
+        if not self._valid[addr]:
+            self._valid[addr] = True
+            self._valid_per_block[addr // self.spec.pages_per_block] += 1
+
+    def note_invalid(self, addr: int) -> None:
+        """Record that ``addr`` no longer holds live data."""
+        if self._valid[addr]:
+            self._valid[addr] = False
+            self._valid_per_block[addr // self.spec.pages_per_block] -= 1
+
+    def is_valid(self, addr: int) -> bool:
+        return self._valid[addr]
+
+    def valid_count(self, block: int) -> int:
+        return self._valid_per_block[block]
+
+    def valid_pages_in(self, block: int) -> List[int]:
+        start = block * self.spec.pages_per_block
+        return [
+            addr
+            for addr in range(start, start + self.spec.pages_per_block)
+            if self._valid[addr]
+        ]
+
+    # ------------------------------------------------------------------
+    # Block lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def active_block(self) -> Optional[int]:
+        return self._active
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self._free)
+
+    def is_free(self, block: int) -> bool:
+        return self._is_free[block]
+
+    def victim_candidates(self) -> Iterable[int]:
+        """Blocks eligible for GC: programmed, not active, with garbage.
+
+        Garbage includes both obsolete pages and never-programmed tail
+        pages of sealed blocks (e.g. the active block at crash time).
+        """
+        for block in range(self.exclude_blocks, self.spec.n_blocks):
+            if self._is_free[block] or block == self._active:
+                continue
+            if self._valid_per_block[block] < self.spec.pages_per_block:
+                yield block
+
+    def garbage_in(self, block: int) -> int:
+        return self.spec.pages_per_block - self._valid_per_block[block]
+
+    def on_block_erased(self, block: int) -> None:
+        """Return an erased block to the free pool and clear its validity."""
+        start = block * self.spec.pages_per_block
+        for addr in range(start, start + self.spec.pages_per_block):
+            self._valid[addr] = False
+        self._valid_per_block[block] = 0
+        self._is_free[block] = True
+        self._free.append(block)
+
+    # ------------------------------------------------------------------
+    # Recovery support
+    # ------------------------------------------------------------------
+    def rebuild(self, valid_addrs: Set[int]) -> None:
+        """Reconstruct allocator state after a crash.
+
+        ``valid_addrs`` is the set of live physical pages determined by the
+        recovery scan.  Fully-erased blocks return to the free pool; every
+        other block is sealed (its unprogrammed tail is treated as garbage
+        until GC reclaims it), and allocation resumes from a fresh block.
+        """
+        self._free.clear()
+        self._active = None
+        self._next_page = 0
+        self._valid = [False] * self.spec.n_pages
+        self._valid_per_block = [0] * self.spec.n_blocks
+        for addr in valid_addrs:
+            self._valid[addr] = True
+            self._valid_per_block[addr // self.spec.pages_per_block] += 1
+        for block in range(self.spec.n_blocks):
+            if block < self.exclude_blocks:
+                self._is_free[block] = False
+                continue
+            erased = self.chip.is_block_erased(block)
+            self._is_free[block] = erased
+            if erased:
+                self._free.append(block)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of chip pages currently valid."""
+        return sum(self._valid_per_block) / self.spec.n_pages

@@ -1,0 +1,138 @@
+"""The page-update-method driver contract (Figure 10's seam).
+
+Every method the paper compares — OPU, IPU, IPL, and PDL — implements
+:class:`PageUpdateMethod`.  The contract mirrors the paper's architecture
+discussion:
+
+* ``read_page`` recreates a logical page from flash (the *reading step*);
+* ``write_page`` reflects an updated logical page into flash (the
+  *writing step*), optionally with the DBMS-provided update logs that only
+  the tightly-coupled log-based method consumes;
+* ``flush`` is the write-through command of Section 4.5;
+* ``load_page`` bulk-loads the initial database image.
+
+Loosely-coupled drivers (OPU, IPU, PDL) ignore ``update_logs`` entirely —
+they can sit below an unmodified disk-based DBMS.  IPL requires them; when
+a caller cannot supply logs, IPL degrades to logging the whole page as one
+change, which is exactly the penalty of coupling the paper describes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, NamedTuple, Optional, Sequence
+
+from ..flash.chip import FlashChip
+from ..flash.spec import FlashSpec
+from ..flash.stats import FlashStats
+
+
+class ChangeRun(NamedTuple):
+    """One contiguous modification to a logical page.
+
+    ``offset`` is the byte position within the page; ``data`` is the new
+    content written there.  A DBMS update command produces one or more
+    runs; log-based methods persist them as update logs.
+    """
+
+    offset: int
+    data: bytes
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.offset + len(self.data)
+
+
+def apply_runs(page: bytes, runs: Sequence[ChangeRun]) -> bytes:
+    """Apply change runs to a page image, returning the new image."""
+    if not runs:
+        return page
+    buf = bytearray(page)
+    for run in runs:
+        if run.offset < 0 or run.end > len(buf):
+            raise ValueError(
+                f"change run [{run.offset}, {run.end}) outside page of {len(buf)} bytes"
+            )
+        buf[run.offset : run.end] = run.data
+    return bytes(buf)
+
+
+class PageUpdateMethod(ABC):
+    """Abstract base for the four page-update methods.
+
+    Subclasses must set :attr:`name` (the label used in the paper's
+    figures, e.g. ``"PDL (256B)"``) and implement the three page
+    operations.  The shared helpers validate page sizes and expose the
+    chip's stats, so experiment code never touches driver internals.
+    """
+
+    #: Figure label, set by each subclass constructor.
+    name: str = "abstract"
+
+    #: True when the driver consumes DBMS update logs (Table 2's coupling
+    #: row); used by reports and by the storage layer to decide whether
+    #: change-log recording is needed.
+    tightly_coupled: bool = False
+
+    def __init__(self, chip: FlashChip):
+        self.chip = chip
+
+    # ------------------------------------------------------------------
+    # Required operations
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def load_page(self, pid: int, data: bytes) -> None:
+        """Bulk-load a logical page during initial database creation."""
+
+    @abstractmethod
+    def read_page(self, pid: int) -> bytes:
+        """Recreate logical page ``pid`` from flash memory."""
+
+    @abstractmethod
+    def write_page(
+        self, pid: int, data: bytes, update_logs: Optional[List[ChangeRun]] = None
+    ) -> None:
+        """Reflect the updated logical page ``pid`` into flash memory."""
+
+    # ------------------------------------------------------------------
+    # Optional operations
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write-through: push any buffered state into flash (no-op by
+        default; PDL flushes its differential write buffer, IPL its
+        in-memory log buffers)."""
+
+    def end_of_load(self) -> None:
+        """Hook invoked once after the initial bulk load completes."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> FlashSpec:
+        return self.chip.spec
+
+    @property
+    def stats(self) -> FlashStats:
+        return self.chip.stats
+
+    @property
+    def page_size(self) -> int:
+        """Logical page size; equal to the physical data area size, as the
+        paper assumes for ease of exposition."""
+        return self.chip.spec.page_data_size
+
+    def _check_page(self, pid: int, data: bytes) -> None:
+        if pid < 0:
+            raise ValueError(f"logical page id {pid} must be non-negative")
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"logical page must be exactly {self.page_size} bytes, got {len(data)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

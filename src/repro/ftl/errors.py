@@ -1,0 +1,26 @@
+"""Errors raised by the FTL layer (drivers, allocator, GC)."""
+
+from __future__ import annotations
+
+from ..flash.errors import FlashError
+
+
+class FtlError(FlashError):
+    """Base class for FTL-layer failures."""
+
+
+class OutOfSpaceError(FtlError):
+    """No free page can be produced, even after garbage collection.
+
+    Raised when the chip is genuinely full of valid data — typically a
+    sign the workload exceeded the provisioned utilization (the paper
+    loads the database at ~25 % of chip capacity).
+    """
+
+
+class UnknownPageError(FtlError):
+    """A logical page id was read before ever being loaded or written."""
+
+
+class ConfigurationError(FtlError):
+    """A driver was configured inconsistently with the chip geometry."""

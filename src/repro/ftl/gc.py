@@ -1,0 +1,100 @@
+"""Garbage collection engine shared by the out-place drivers.
+
+The paper (Section 4.1) describes the standard reclamation cycle: when no
+free page remains, select a block, move its still-valid pages to a block
+reserved for GC, then erase it.  PDL additionally *compacts* differential
+pages — only valid differentials are copied forward.
+
+The engine is driver-agnostic: a :class:`RelocationHandler` supplied by
+the driver decides how to move each valid page (OPU re-programs it and
+updates its mapping entry; PDL either relocates a base page or filters a
+differential page through a compaction buffer).  ``finish_victim`` runs
+*before* the victim is erased so handlers can flush any relocation
+buffers — guaranteeing every valid byte exists somewhere in flash at all
+times, which is what makes crash recovery during GC sound.
+
+All work here is attributed to the ``gc`` accounting phase; because GC is
+only ever triggered from a write path, its cost is "amortized into the
+write cost" exactly as the paper reports (Figure 12(b)'s slashed areas).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from ..flash.chip import FlashChip
+from ..flash.spare import SpareArea
+from ..flash.stats import GC
+from .allocator import BlockManager
+from .errors import OutOfSpaceError
+
+#: A victim-selection policy: given the block manager, return the block to
+#: reclaim next, or None when no candidate exists.
+VictimPolicy = Callable[[BlockManager], Optional[int]]
+
+
+class RelocationHandler(Protocol):
+    """Driver-side hooks used by the GC engine."""
+
+    def relocate_page(self, addr: int, data: bytes, spare: SpareArea) -> None:
+        """Move one valid page out of the victim block."""
+
+    def finish_victim(self, block: int) -> None:
+        """Flush any relocation buffers before the victim is erased."""
+
+
+def greedy_policy(blocks: BlockManager) -> Optional[int]:
+    """The default policy: reclaim the block with the most garbage.
+
+    This is the behaviour the paper inherits from Woodhouse's JFFS
+    collector — maximise pages reclaimed per erase.
+    """
+    best: Optional[int] = None
+    best_garbage = 0
+    for block in blocks.victim_candidates():
+        garbage = blocks.garbage_in(block)
+        if garbage > best_garbage:
+            best = block
+            best_garbage = garbage
+    return best
+
+
+class GarbageCollector:
+    """Reclaims blocks until the free pool is above the reserve level."""
+
+    def __init__(
+        self,
+        chip: FlashChip,
+        blocks: BlockManager,
+        handler: RelocationHandler,
+        policy: VictimPolicy = greedy_policy,
+    ):
+        self.chip = chip
+        self.blocks = blocks
+        self.handler = handler
+        self.policy = policy
+        self.collections = 0
+        self.pages_relocated = 0
+        blocks.set_gc(self.collect)
+
+    def collect(self) -> None:
+        """Reclaim blocks until ``free > reserve`` (or raise OutOfSpace)."""
+        with self.chip.stats.phase(GC):
+            while self.blocks.free_block_count <= self.blocks.reserve_blocks:
+                victim = self.policy(self.blocks)
+                if victim is None or self.blocks.garbage_in(victim) <= 0:
+                    raise OutOfSpaceError(
+                        "garbage collection found no reclaimable block; "
+                        "the chip is full of valid data"
+                    )
+                self._reclaim(victim)
+                self.collections += 1
+
+    def _reclaim(self, victim: int) -> None:
+        for addr in self.blocks.valid_pages_in(victim):
+            data, spare = self.chip.read_page(addr)
+            self.handler.relocate_page(addr, data, spare)
+            self.pages_relocated += 1
+        self.handler.finish_victim(victim)
+        self.chip.erase_block(victim)
+        self.blocks.on_block_erased(victim)

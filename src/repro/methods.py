@@ -1,0 +1,78 @@
+"""Driver registry: build any of the paper's methods from its figure label.
+
+The experiments compare six configurations; this module maps the paper's
+labels to constructed drivers so workloads and benchmarks can be written
+against names::
+
+    make_method("PDL (256B)", chip)
+    make_method("IPL (18KB)", chip)
+
+Labels are case-insensitive and whitespace-tolerant; sizes accept ``B``
+and ``KB`` suffixes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional
+
+from .core.pdl import PdlDriver
+from .flash.chip import FlashChip
+from .ftl.base import PageUpdateMethod
+from .ftl.ipl import IplDriver
+from .ftl.ipu import IpuDriver
+from .ftl.opu import OpuDriver
+
+#: The six configurations of the paper's evaluation (Figure 12's legend).
+PAPER_METHODS = (
+    "IPL (18KB)",
+    "IPL (64KB)",
+    "PDL (2KB)",
+    "PDL (256B)",
+    "OPU",
+    "IPU",
+)
+
+#: The five methods of Figure 17/18 (IPU excluded, as in the paper).
+PAPER_METHODS_NO_IPU = tuple(m for m in PAPER_METHODS if m != "IPU")
+
+_LABEL_RE = re.compile(
+    r"^\s*(?P<kind>PDL|IPL)\s*\(\s*(?P<size>\d+)\s*(?P<unit>B|KB)?\s*\)\s*$",
+    re.IGNORECASE,
+)
+
+
+def parse_size(size: str, unit: Optional[str]) -> int:
+    value = int(size)
+    if unit and unit.upper() == "KB":
+        value *= 1024
+    return value
+
+
+def make_method(label: str, chip: FlashChip, **kwargs) -> PageUpdateMethod:
+    """Construct the driver named by a paper-style label.
+
+    ``kwargs`` are forwarded to the driver constructor (e.g.
+    ``victim_policy`` for the GC ablations).
+    """
+    plain = label.strip().upper()
+    if plain == "OPU":
+        return OpuDriver(chip, **kwargs)
+    if plain == "IPU":
+        return IpuDriver(chip, **kwargs)
+    match = _LABEL_RE.match(label)
+    if match is None:
+        raise ValueError(
+            f"unknown method label {label!r}; expected OPU, IPU, "
+            "PDL(<size>) or IPL(<size>)"
+        )
+    size = parse_size(match.group("size"), match.group("unit"))
+    kind = match.group("kind").upper()
+    if kind == "PDL":
+        return PdlDriver(chip, max_differential_size=size, **kwargs)
+    return IplDriver(chip, log_region_bytes=size, **kwargs)
+
+
+def method_labels(include_ipu: bool = True) -> List[str]:
+    """The standard comparison set, in the paper's plotting order."""
+    return list(PAPER_METHODS if include_ipu else PAPER_METHODS_NO_IPU)

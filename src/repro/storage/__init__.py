@@ -1,0 +1,28 @@
+"""Mini-DBMS storage substrate (S7 in DESIGN.md).
+
+A page-based storage engine standing in for the Odysseus ORDBMS storage
+layer the paper used: buffer pool with write-back through any page-update
+driver, change-log recording (the tightly-coupled hook), slotted pages,
+heap files, and a paged B+tree.
+"""
+
+from .btree import BTree, BTreeError
+from .buffer import BufferError, BufferManager, BufferStats
+from .db import Database
+from .heap import RID, HeapFile
+from .page import Page
+from .slotted import SlottedPage, SlottedPageError
+
+__all__ = [
+    "BTree",
+    "BTreeError",
+    "BufferError",
+    "BufferManager",
+    "BufferStats",
+    "Database",
+    "HeapFile",
+    "Page",
+    "RID",
+    "SlottedPage",
+    "SlottedPageError",
+]

@@ -1,0 +1,326 @@
+"""A paged B+tree index with u64 keys and values.
+
+Every node is one logical page accessed through the buffer pool, so index
+traffic participates in the paper's I/O measurements exactly like heap
+traffic.  Serialization writes only changed bytes (via
+:meth:`Page.write_delta`), keeping update logs honest for the
+tightly-coupled driver.
+
+Node layout (little-endian)::
+
+    header : u16 magic 0xB7EE | u8 is_leaf | u8 reserved | u16 n_keys
+             | u16 reserved2 | u32 next_leaf (pid + 1, 0 = none)
+    leaf   : n_keys × u64 key | n_keys × u64 value
+    branch : n_keys × u64 key | (n_keys + 1) × u32 child pid
+
+Semantics: upsert on duplicate key; deletion removes the key from its
+leaf without rebalancing (underflowed leaves are served normally and
+reclaimed only on page reuse), which matches the workloads here — TPC-C
+deletes only NEW-ORDER entries, never enough to matter structurally.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right, insort
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from .db import Database
+from .page import Page
+
+_HEADER = struct.Struct("<HBBHHI")
+HEADER_SIZE = _HEADER.size  # 12
+MAGIC = 0xB7EE
+KEY_SIZE = 8
+VALUE_SIZE = 8
+CHILD_SIZE = 4
+
+
+class BTreeError(RuntimeError):
+    """Raised on malformed nodes or capacity misconfiguration."""
+
+
+@dataclass
+class _Node:
+    """Deserialized node contents."""
+
+    pid: int
+    is_leaf: bool
+    keys: List[int] = field(default_factory=list)
+    values: List[int] = field(default_factory=list)  # leaf only
+    children: List[int] = field(default_factory=list)  # branch only
+    next_leaf: Optional[int] = None  # leaf only
+
+
+class BTree:
+    """A B+tree whose nodes live in database pages."""
+
+    def __init__(self, db: Database, name: str = "index"):
+        self.db = db
+        self.name = name
+        page_size = db.page_size
+        self.leaf_capacity = (page_size - HEADER_SIZE) // (KEY_SIZE + VALUE_SIZE)
+        self.branch_capacity = (page_size - HEADER_SIZE - CHILD_SIZE) // (
+            KEY_SIZE + CHILD_SIZE
+        )
+        if self.leaf_capacity < 3 or self.branch_capacity < 3:
+            raise BTreeError(
+                f"page size {page_size} too small for a B+tree node"
+            )
+        root = self.db.allocate_page()
+        self._write_node(_Node(pid=root.pid, is_leaf=True))
+        self.root_pid = root.pid
+        self.key_count = 0
+        self.height = 1
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+    def get(self, key: int) -> Optional[int]:
+        """Value stored under ``key``, or None."""
+        node = self._read_node(self._descend_to_leaf(key))
+        idx = bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            return node.values[idx]
+        return None
+
+    def insert(self, key: int, value: int) -> None:
+        """Insert or overwrite (upsert) a key/value pair."""
+        _check_u64(key, "key")
+        _check_u64(value, "value")
+        split = self._insert(self.root_pid, key, value)
+        if split is not None:
+            sep_key, right_pid = split
+            new_root_page = self.db.allocate_page()
+            new_root = _Node(
+                pid=new_root_page.pid,
+                is_leaf=False,
+                keys=[sep_key],
+                children=[self.root_pid, right_pid],
+            )
+            self._write_node(new_root)
+            self.root_pid = new_root_page.pid
+            self.height += 1
+
+    def delete(self, key: int) -> bool:
+        """Remove a key; returns True when it existed."""
+        node = self._read_node(self._descend_to_leaf(key))
+        idx = bisect_left(node.keys, key)
+        if idx >= len(node.keys) or node.keys[idx] != key:
+            return False
+        node.keys.pop(idx)
+        node.values.pop(idx)
+        self._write_node(node)
+        self.key_count -= 1
+        return True
+
+    def items(
+        self, lo: Optional[int] = None, hi: Optional[int] = None
+    ) -> Iterator[Tuple[int, int]]:
+        """Yield ``(key, value)`` pairs with lo <= key < hi, in order."""
+        start = lo if lo is not None else 0
+        pid: Optional[int] = self._descend_to_leaf(start)
+        while pid is not None:
+            node = self._read_node(pid)
+            begin = bisect_left(node.keys, start) if lo is not None else 0
+            for idx in range(begin, len(node.keys)):
+                key = node.keys[idx]
+                if hi is not None and key >= hi:
+                    return
+                yield key, node.values[idx]
+            lo = None  # only trim inside the first leaf
+            pid = node.next_leaf
+
+    def min_item(
+        self, lo: Optional[int] = None, hi: Optional[int] = None
+    ) -> Optional[Tuple[int, int]]:
+        """Smallest entry in [lo, hi), or None."""
+        for item in self.items(lo, hi):
+            return item
+        return None
+
+    def __len__(self) -> int:
+        return self.key_count
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    # ------------------------------------------------------------------
+    # Insertion internals
+    # ------------------------------------------------------------------
+    def _insert(self, pid: int, key: int, value: int) -> Optional[Tuple[int, int]]:
+        """Recursive insert; returns (separator, new right pid) on split."""
+        node = self._read_node(pid)
+        if node.is_leaf:
+            return self._insert_into_leaf(node, key, value)
+        idx = bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep_key, right_pid = split
+        node.keys.insert(idx, sep_key)
+        node.children.insert(idx + 1, right_pid)
+        if len(node.keys) <= self.branch_capacity:
+            self._write_node(node)
+            return None
+        return self._split_branch(node)
+
+    def _insert_into_leaf(
+        self, node: _Node, key: int, value: int
+    ) -> Optional[Tuple[int, int]]:
+        idx = bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            node.values[idx] = value  # upsert
+            self._write_node(node)
+            return None
+        node.keys.insert(idx, key)
+        node.values.insert(idx, value)
+        self.key_count += 1
+        if len(node.keys) <= self.leaf_capacity:
+            self._write_node(node)
+            return None
+        return self._split_leaf(node)
+
+    def _split_leaf(self, node: _Node) -> Tuple[int, int]:
+        mid = len(node.keys) // 2
+        right_page = self.db.allocate_page()
+        right = _Node(
+            pid=right_page.pid,
+            is_leaf=True,
+            keys=node.keys[mid:],
+            values=node.values[mid:],
+            next_leaf=node.next_leaf,
+        )
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        node.next_leaf = right.pid
+        self._write_node(right)
+        self._write_node(node)
+        return right.keys[0], right.pid
+
+    def _split_branch(self, node: _Node) -> Tuple[int, int]:
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right_page = self.db.allocate_page()
+        right = _Node(
+            pid=right_page.pid,
+            is_leaf=False,
+            keys=node.keys[mid + 1 :],
+            children=node.children[mid + 1 :],
+        )
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        self._write_node(right)
+        self._write_node(node)
+        return sep_key, right.pid
+
+    # ------------------------------------------------------------------
+    # Traversal / serialization
+    # ------------------------------------------------------------------
+    def _descend_to_leaf(self, key: int) -> int:
+        pid = self.root_pid
+        while True:
+            node = self._read_node(pid)
+            if node.is_leaf:
+                return pid
+            pid = node.children[bisect_right(node.keys, key)]
+
+    def _read_node(self, pid: int) -> _Node:
+        page = self.db.page(pid)
+        magic, is_leaf, _r1, n_keys, _r2, next_raw = _HEADER.unpack_from(
+            page.read(0, HEADER_SIZE), 0
+        )
+        if magic != MAGIC:
+            raise BTreeError(f"page {pid} is not a B+tree node (magic 0x{magic:04X})")
+        pos = HEADER_SIZE
+        keys = list(struct.unpack_from(f"<{n_keys}Q", page.read(pos, n_keys * 8), 0))
+        pos += n_keys * KEY_SIZE
+        if is_leaf:
+            values = list(
+                struct.unpack_from(f"<{n_keys}Q", page.read(pos, n_keys * 8), 0)
+            )
+            return _Node(
+                pid=pid,
+                is_leaf=True,
+                keys=keys,
+                values=values,
+                next_leaf=(next_raw - 1) if next_raw else None,
+            )
+        n_children = n_keys + 1
+        children = list(
+            struct.unpack_from(
+                f"<{n_children}I", page.read(pos, n_children * 4), 0
+            )
+        )
+        return _Node(pid=pid, is_leaf=False, keys=keys, children=children)
+
+    def _write_node(self, node: _Node) -> None:
+        n_keys = len(node.keys)
+        parts = [
+            _HEADER.pack(
+                MAGIC,
+                1 if node.is_leaf else 0,
+                0,
+                n_keys,
+                0,
+                (node.next_leaf + 1) if node.next_leaf is not None else 0,
+            ),
+            struct.pack(f"<{n_keys}Q", *node.keys),
+        ]
+        if node.is_leaf:
+            parts.append(struct.pack(f"<{n_keys}Q", *node.values))
+        else:
+            parts.append(struct.pack(f"<{len(node.children)}I", *node.children))
+        encoded = b"".join(parts)
+        page = self.db.page(node.pid)
+        page.write_delta(0, encoded)
+
+    # ------------------------------------------------------------------
+    # Validation (used by tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert ordering, fanout and leaf-chain invariants."""
+        leaves: List[int] = []
+        self._check_node(self.root_pid, None, None, leaves, is_root=True)
+        chained = []
+        pid: Optional[int] = leaves[0] if leaves else None
+        while pid is not None:
+            chained.append(pid)
+            pid = self._read_node(pid).next_leaf
+        if leaves != chained:
+            raise BTreeError("leaf chain does not match tree order")
+
+    def _check_node(
+        self,
+        pid: int,
+        lo: Optional[int],
+        hi: Optional[int],
+        leaves: List[int],
+        is_root: bool = False,
+    ) -> None:
+        node = self._read_node(pid)
+        if node.keys != sorted(node.keys):
+            raise BTreeError(f"node {pid} keys unsorted")
+        for key in node.keys:
+            if (lo is not None and key < lo) or (hi is not None and key >= hi):
+                raise BTreeError(f"node {pid} key {key} outside ({lo}, {hi})")
+        if node.is_leaf:
+            if len(node.keys) > self.leaf_capacity:
+                raise BTreeError(f"leaf {pid} overflows")
+            leaves.append(pid)
+            return
+        if len(node.keys) > self.branch_capacity:
+            raise BTreeError(f"branch {pid} overflows")
+        if not is_root and len(node.keys) < 1:
+            raise BTreeError(f"branch {pid} is empty")
+        bounds = [lo] + node.keys + [hi]
+        for child, (clo, chi) in zip(
+            node.children, zip(bounds[:-1], bounds[1:])
+        ):
+            self._check_node(child, clo, chi, leaves)
+
+
+def _check_u64(value: int, what: str) -> None:
+    if not 0 <= value < (1 << 64):
+        raise ValueError(f"{what} {value} outside u64 range")

@@ -1,0 +1,65 @@
+"""The database façade: buffer pool + logical page allocation.
+
+This is the thin "storage system" of Figure 10: a page-oriented engine
+that neither knows nor cares which page-update method sits below it.
+Heap files and B+trees allocate logical pages here; all page traffic
+flows through the LRU buffer pool, whose dirty evictions and misses are
+the flash I/O the paper measures in Experiment 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ftl.base import PageUpdateMethod
+from .buffer import BufferManager, BufferStats
+from .page import Page
+
+
+class Database:
+    """A minimal page-based database instance."""
+
+    def __init__(self, driver: PageUpdateMethod, buffer_capacity: int):
+        self.driver = driver
+        self.pool = BufferManager(driver, buffer_capacity)
+        self.page_size = driver.page_size
+        self._next_pid = 0
+
+    # ------------------------------------------------------------------
+    # Page management
+    # ------------------------------------------------------------------
+    def allocate_page(self) -> Page:
+        """Create a fresh, zero-filled logical page (dirty in the pool)."""
+        pid = self._next_pid
+        self._next_pid += 1
+        return self.pool.create_page(pid, bytes(self.page_size))
+
+    def page(self, pid: int) -> Page:
+        """Fetch a page through the buffer pool."""
+        if not 0 <= pid < self._next_pid:
+            raise ValueError(f"logical page {pid} was never allocated")
+        return self.pool.get_page(pid)
+
+    @property
+    def allocated_pages(self) -> int:
+        return self._next_pid
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Write back all dirty pages and the driver's buffers."""
+        self.pool.flush_all()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def buffer_stats(self) -> BufferStats:
+        return self.pool.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Database pages={self._next_pid} buffer={self.pool.capacity} "
+            f"driver={self.driver.name}>"
+        )

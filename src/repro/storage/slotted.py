@@ -1,0 +1,180 @@
+"""Slotted-page record layout.
+
+The classic DBMS heap-page organization: a header, record data growing
+forward from the header, and a slot directory growing backward from the
+page end.  Every slot holds the record's offset and length; deleting a
+record tombstones its slot.  All mutations go through :class:`Page` so
+update logs are recorded for the tightly-coupled driver.
+
+Layout (little-endian)::
+
+    header:  u16 magic 0x51A7 | u16 slot_count | u16 free_start | u16 live
+    slots:   directory entry i at page_end - 4*(i+1): u16 offset | u16 length
+             offset 0xFFFF marks a tombstone
+
+``free_start`` is the first byte available for record data; free space is
+the gap between it and the lowest slot-directory entry.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+from .page import Page
+
+_HEADER = struct.Struct("<HHHH")
+_SLOT = struct.Struct("<HH")
+
+HEADER_SIZE = _HEADER.size  # 8
+SLOT_SIZE = _SLOT.size  # 4
+MAGIC = 0x51A7
+TOMBSTONE = 0xFFFF
+
+
+class SlottedPageError(RuntimeError):
+    """Raised on malformed pages or invalid slot references."""
+
+
+class SlottedPage:
+    """A slotted-record view over a buffered :class:`Page`."""
+
+    def __init__(self, page: Page):
+        self.page = page
+
+    # ------------------------------------------------------------------
+    # Formatting / validation
+    # ------------------------------------------------------------------
+    @classmethod
+    def format(cls, page: Page) -> "SlottedPage":
+        """Initialize an empty slotted page in-place."""
+        page.write(0, _HEADER.pack(MAGIC, 0, HEADER_SIZE, 0))
+        return cls(page)
+
+    def _header(self) -> Tuple[int, int, int, int]:
+        magic, slot_count, free_start, live = _HEADER.unpack_from(
+            self.page.read(0, HEADER_SIZE), 0
+        )
+        if magic != MAGIC:
+            raise SlottedPageError(
+                f"page {self.page.pid} is not a slotted page (magic 0x{magic:04X})"
+            )
+        return magic, slot_count, free_start, live
+
+    @property
+    def slot_count(self) -> int:
+        return self._header()[1]
+
+    @property
+    def live_records(self) -> int:
+        return self._header()[3]
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available for a new record (excluding its slot entry)."""
+        _, slot_count, free_start, _ = self._header()
+        directory_start = self.page.size - slot_count * SLOT_SIZE
+        gap = directory_start - free_start
+        return max(0, gap - SLOT_SIZE)
+
+    # ------------------------------------------------------------------
+    # Slot directory access
+    # ------------------------------------------------------------------
+    def _slot_pos(self, slot: int) -> int:
+        return self.page.size - SLOT_SIZE * (slot + 1)
+
+    def _read_slot(self, slot: int) -> Tuple[int, int]:
+        _, slot_count, _, _ = self._header()
+        if not 0 <= slot < slot_count:
+            raise SlottedPageError(
+                f"slot {slot} out of range (page {self.page.pid} has {slot_count})"
+            )
+        return _SLOT.unpack_from(self.page.read(self._slot_pos(slot), SLOT_SIZE), 0)
+
+    def _write_slot(self, slot: int, offset: int, length: int) -> None:
+        self.page.write(self._slot_pos(slot), _SLOT.pack(offset, length))
+
+    # ------------------------------------------------------------------
+    # Record operations
+    # ------------------------------------------------------------------
+    def insert(self, record: bytes) -> Optional[int]:
+        """Store a record; returns its slot number, or None if full.
+
+        Tombstoned slots are reused (their directory entry is recycled,
+        record space is not compacted — standard lazy reclamation).
+        """
+        if not record:
+            raise ValueError("empty records are not supported")
+        _, slot_count, free_start, live = self._header()
+        directory_start = self.page.size - slot_count * SLOT_SIZE
+        reuse = None
+        for slot in range(slot_count):
+            offset, _length = self._read_slot(slot)
+            if offset == TOMBSTONE:
+                reuse = slot
+                break
+        needed = len(record) + (0 if reuse is not None else SLOT_SIZE)
+        if directory_start - free_start < needed:
+            return None
+        self.page.write(free_start, record)
+        if reuse is None:
+            slot = slot_count
+            slot_count += 1
+        else:
+            slot = reuse
+        self._write_slot(slot, free_start, len(record))
+        self.page.write(
+            0, _HEADER.pack(MAGIC, slot_count, free_start + len(record), live + 1)
+        )
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        offset, length = self._read_slot(slot)
+        if offset == TOMBSTONE:
+            raise SlottedPageError(f"slot {slot} of page {self.page.pid} is deleted")
+        return self.page.read(offset, length)
+
+    def update(self, slot: int, record: bytes) -> bool:
+        """Overwrite a record in place.
+
+        Same-size updates (the common DBMS case with fixed-size records)
+        always succeed; shrinking succeeds in place; growth relocates the
+        record within the page if space allows, else returns False so the
+        caller can delete + reinsert elsewhere.
+        """
+        offset, length = self._read_slot(slot)
+        if offset == TOMBSTONE:
+            raise SlottedPageError(f"slot {slot} of page {self.page.pid} is deleted")
+        if len(record) <= length:
+            self.page.write_delta(offset, record)
+            if len(record) != length:
+                self._write_slot(slot, offset, len(record))
+            return True
+        magic, slot_count, free_start, live = self._header()
+        directory_start = self.page.size - slot_count * SLOT_SIZE
+        if directory_start - free_start < len(record):
+            return False
+        self.page.write(free_start, record)
+        self._write_slot(slot, free_start, len(record))
+        self.page.write(0, _HEADER.pack(magic, slot_count, free_start + len(record), live))
+        return True
+
+    def delete(self, slot: int) -> None:
+        offset, _length = self._read_slot(slot)
+        if offset == TOMBSTONE:
+            raise SlottedPageError(f"slot {slot} of page {self.page.pid} already deleted")
+        magic, slot_count, free_start, live = self._header()
+        self._write_slot(slot, TOMBSTONE, 0)
+        self.page.write(0, _HEADER.pack(magic, slot_count, free_start, live - 1))
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield ``(slot, record)`` for every live record."""
+        for slot in range(self.slot_count):
+            offset, length = self._read_slot(slot)
+            if offset != TOMBSTONE:
+                yield slot, self.page.read(offset, length)
+
+    @classmethod
+    def capacity_for(cls, record_size: int, page_size: int) -> int:
+        """How many fixed-size records fit in one formatted page."""
+        return (page_size - HEADER_SIZE) // (record_size + SLOT_SIZE)

@@ -1,0 +1,26 @@
+"""Workload generators (S8–S9): the paper's synthetic update operations,
+read/update mixes, and scaled TPC-C."""
+
+from .runner import (
+    MethodMeasurement,
+    RunnerConfig,
+    aging_horizon,
+    build_workload,
+    measure_mix,
+    measure_updates,
+    warm_to_steady_state,
+)
+from .synthetic import SyntheticConfig, SyntheticWorkload, VerificationError
+
+__all__ = [
+    "MethodMeasurement",
+    "RunnerConfig",
+    "SyntheticConfig",
+    "SyntheticWorkload",
+    "VerificationError",
+    "aging_horizon",
+    "build_workload",
+    "measure_mix",
+    "measure_updates",
+    "warm_to_steady_state",
+]

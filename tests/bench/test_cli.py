@@ -1,0 +1,39 @@
+"""Tests for the repro-bench command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "exp1" in out
+        assert "exp7" in out
+        assert "ablation_max_diff" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not_an_experiment"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "galactic"])
+
+    def test_runs_table1(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+        # note: RESULTS_DIR is read at import time; use --no-save instead
+        assert main(["table1", "--no-save", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Tread" in out
+
+    def test_figure_flag(self, capsys):
+        assert main(["table1", "--no-save", "--figure"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out

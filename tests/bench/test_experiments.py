@@ -1,0 +1,78 @@
+"""Smoke + shape tests for the experiment orchestrators at tiny scale.
+
+These run the real experiment code paths end-to-end on miniature
+configurations (the full-size shape assertions live in benchmarks/).
+"""
+
+import pytest
+
+from repro.bench.config import SCALES, BenchScale, current_scale
+from repro.bench.experiments import (
+    ablation_max_differential_size,
+    experiment1,
+    table1_chip_parameters,
+)
+from repro.workloads.tpcc.schema import TpccScale
+
+TINY = BenchScale(
+    name="tiny",
+    database_pages=128,
+    measure_ops=60,
+    tpcc_scale=TpccScale(
+        warehouses=1,
+        districts_per_warehouse=2,
+        customers_per_district=20,
+        items=60,
+        initial_orders_per_district=15,
+    ),
+    tpcc_transactions=40,
+    sweep_measure_ops=40,
+)
+
+
+class TestConfig:
+    def test_scales_exist(self):
+        assert {"smoke", "small", "paper"} <= set(SCALES)
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "smoke")
+        assert current_scale().name == "smoke"
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_runner_override(self):
+        runner = TINY.runner(measure_ops=5)
+        assert runner.measure_ops == 5
+        assert runner.database_pages == TINY.database_pages
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        table = table1_chip_parameters()
+        assert table.value("value", symbol="Npage") == 64
+        assert table.value("value", symbol="Tread") == 110.0
+        assert table.value("value", symbol="Sdata") == 2048
+
+
+class TestExperiment1Tiny:
+    def test_runs_and_orders_sanely(self):
+        table = experiment1(TINY)
+        methods = set(table.column("method"))
+        assert "PDL (256B)" in methods and "IPU" in methods
+        ipu = table.value("overall_us", method="IPU")
+        opu = table.value("overall_us", method="OPU")
+        pdl = table.value("overall_us", method="PDL (256B)")
+        # the paper's headline orderings hold even at tiny scale
+        assert ipu > opu > pdl
+        # OPU read step is exactly one page read
+        assert table.value("read_us", method="OPU") == pytest.approx(110.0)
+
+
+class TestAblationTiny:
+    def test_max_diff_sweep_runs(self):
+        table = ablation_max_differential_size(TINY, sizes=(64, 256))
+        assert len(table.rows) == 2
+        assert table.column("max_diff_size") == [64, 256]

@@ -1,0 +1,82 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.plotting import bar_chart, line_chart, render_figure
+from repro.bench.reporting import ResultTable
+
+
+@pytest.fixture
+def exp1_table():
+    t = ResultTable(
+        experiment="exp1_fig12",
+        title="t",
+        columns=("method", "overall_us"),
+    )
+    t.add_row("PDL (256B)", 800.0)
+    t.add_row("OPU", 2200.0)
+    t.add_row("IPU", 73000.0)
+    return t
+
+
+@pytest.fixture
+def exp2_table():
+    t = ResultTable(
+        experiment="exp2_fig13_2k",
+        title="t",
+        columns=("method", "n_updates", "overall_us"),
+    )
+    for n in (1, 2, 4, 8):
+        t.add_row("OPU", n, 2200.0)
+        t.add_row("PDL (256B)", n, 700.0 + 200.0 * n)
+    return t
+
+
+class TestBarChart:
+    def test_contains_all_labels_and_values(self, exp1_table):
+        chart = bar_chart(exp1_table, "method", "overall_us")
+        assert "PDL (256B)" in chart
+        assert "73,000" in chart
+
+    def test_log_scale_notes_itself(self, exp1_table):
+        chart = bar_chart(exp1_table, "method", "overall_us", log_scale=True)
+        assert "(log scale)" in chart
+
+    def test_largest_bar_is_longest(self, exp1_table):
+        chart = bar_chart(exp1_table, "method", "overall_us")
+        lines = {line.split("|")[0].strip(): line.count("█")
+                 for line in chart.splitlines() if "|" in line}
+        assert lines["IPU"] >= lines["OPU"] >= lines["PDL (256B)"]
+
+
+class TestLineChart:
+    def test_contains_legend_and_bounds(self, exp2_table):
+        chart = line_chart(exp2_table, "n_updates", "overall_us", "method")
+        assert "o=" in chart or "x=" in chart
+        assert "n_updates" in chart
+
+    def test_series_filter(self, exp2_table):
+        chart = line_chart(
+            exp2_table, "n_updates", "overall_us", "method",
+            series_filter=["OPU"],
+        )
+        assert "OPU" in chart
+        assert "PDL" not in chart
+
+    def test_empty_series(self, exp2_table):
+        chart = line_chart(
+            exp2_table, "n_updates", "overall_us", "method",
+            series_filter=["nope"],
+        )
+        assert chart == "(no series)"
+
+
+class TestRenderFigure:
+    def test_dispatches_by_experiment(self, exp1_table, exp2_table):
+        assert "Figure 12" in render_figure(exp1_table)
+        assert "Figure 13" in render_figure(exp2_table)
+
+    def test_unknown_falls_back_to_table(self):
+        t = ResultTable(experiment="other", title="x", columns=("a",))
+        t.add_row(1)
+        assert "x" in render_figure(t)

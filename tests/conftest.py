@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite.
+
+Tests run on tiny chip geometries (16 blocks × 8 pages × 256 bytes by
+default) so whole-chip scans and GC cycles stay fast; nothing in the
+code depends on absolute sizes.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+# Allow running the tests without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.flash.chip import FlashChip  # noqa: E402
+from repro.flash.spec import TINY_SPEC, FlashSpec  # noqa: E402
+
+
+@pytest.fixture
+def tiny_spec() -> FlashSpec:
+    """16 blocks × 8 pages × 256-byte data areas."""
+    return TINY_SPEC
+
+
+@pytest.fixture
+def chip(tiny_spec: FlashSpec) -> FlashChip:
+    return FlashChip(tiny_spec)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def random_page(rng: random.Random, size: int) -> bytes:
+    """A random page image of exactly ``size`` bytes."""
+    return rng.randbytes(size)
+
+
+def mutate(rng: random.Random, data: bytes, n_bytes: int) -> bytes:
+    """Return ``data`` with ``n_bytes`` random contiguous bytes changed."""
+    size = min(n_bytes, len(data))
+    offset = rng.randrange(len(data) - size + 1)
+    image = bytearray(data)
+    image[offset : offset + size] = rng.randbytes(size)
+    return bytes(image)

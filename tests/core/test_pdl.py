@@ -1,0 +1,249 @@
+"""PDL driver tests: the three design principles, the three write cases,
+GC compaction, and bookkeeping invariants."""
+
+import random
+
+import pytest
+
+from repro.core.pdl import PdlDriver, format_size
+from repro.flash.chip import FlashChip
+from repro.flash.spare import PageType
+from repro.flash.stats import GC, READ_STEP, WRITE_STEP
+
+
+@pytest.fixture
+def pdl(chip):
+    return PdlDriver(chip, max_differential_size=64)
+
+
+def _page(driver, fill=0x11):
+    return bytes([fill]) * driver.page_size
+
+
+def _patched(data, offset, patch):
+    image = bytearray(data)
+    image[offset : offset + len(patch)] = patch
+    return bytes(image)
+
+
+class TestNaming:
+    def test_format_size(self):
+        assert format_size(256) == "256B"
+        assert format_size(2048) == "2KB"
+        assert format_size(18 * 1024) == "18KB"
+
+    def test_labels(self, chip):
+        assert PdlDriver(chip, max_differential_size=256).name == "PDL (256B)"
+
+    def test_rejects_bad_size(self, chip):
+        with pytest.raises(ValueError):
+            PdlDriver(chip, max_differential_size=0)
+
+
+class TestAtMostTwoPageReading:
+    """Design principle 3: recreating a page reads at most two pages."""
+
+    def test_unmodified_page_one_read(self, pdl, chip):
+        pdl.load_page(0, _page(pdl))
+        snap = chip.stats.snapshot()
+        pdl.read_page(0)
+        assert chip.stats.delta_since(snap).of_phase(READ_STEP).reads == 1
+
+    def test_buffered_diff_one_read(self, pdl, chip):
+        pdl.load_page(0, _page(pdl))
+        pdl.write_page(0, _patched(_page(pdl), 0, b"\x99"))
+        snap = chip.stats.snapshot()
+        pdl.read_page(0)
+        # differential still in the write buffer: base read only
+        assert chip.stats.delta_since(snap).of_phase(READ_STEP).reads == 1
+
+    def test_flushed_diff_two_reads(self, pdl, chip):
+        pdl.load_page(0, _page(pdl))
+        pdl.write_page(0, _patched(_page(pdl), 0, b"\x99"))
+        pdl.flush()
+        snap = chip.stats.snapshot()
+        pdl.read_page(0)
+        assert chip.stats.delta_since(snap).of_phase(READ_STEP).reads == 2
+
+    def test_never_more_than_two_reads(self, pdl, chip):
+        """Even after many updates — unlike log-based methods."""
+        pdl.load_page(0, _page(pdl))
+        data = _page(pdl)
+        rng = random.Random(1)
+        for i in range(30):
+            data = _patched(data, rng.randrange(pdl.page_size - 1), bytes([i]))
+            pdl.write_page(0, data)
+            pdl.flush()
+        snap = chip.stats.snapshot()
+        assert pdl.read_page(0) == data
+        assert chip.stats.delta_since(snap).of_phase(READ_STEP).reads <= 2
+
+
+class TestWritingCases:
+    def test_case1_buffers_without_flash_write(self, pdl, chip):
+        pdl.load_page(0, _page(pdl))
+        snap = chip.stats.snapshot()
+        pdl.write_page(0, _patched(_page(pdl), 5, b"\x99"))
+        delta = chip.stats.delta_since(snap)
+        assert pdl.case_counts[1] == 1
+        assert delta.of_phase(WRITE_STEP).writes == 0  # only the base read
+        assert delta.of_phase(WRITE_STEP).reads == 1
+
+    def test_case2_flushes_buffer(self, pdl, chip):
+        for pid in range(20):
+            pdl.load_page(pid, _page(pdl))
+        # fill the buffer with ~16-byte-unit diffs until a flush happens
+        writes_before = chip.stats.totals().writes
+        for pid in range(20):
+            pdl.write_page(pid, _patched(_page(pdl), 0, bytes([pid + 1]) * 16))
+        assert pdl.case_counts[2] + pdl.buffer_flushes >= 1 or (
+            chip.stats.totals().writes > writes_before
+        )
+
+    def test_case3_writes_new_base(self, pdl, chip):
+        pdl.load_page(0, _page(pdl))
+        old_base = pdl.ppmt.require(0).base_addr
+        new = _page(pdl, 0xEE)  # whole page changed -> diff > 64 bytes
+        pdl.write_page(0, new)
+        assert pdl.case_counts[3] == 1
+        entry = pdl.ppmt.require(0)
+        assert entry.base_addr != old_base
+        assert entry.diff_addr is None
+        assert chip.peek_spare(old_base).obsolete
+        assert pdl.read_page(0) == new
+
+    def test_case3_drops_flushed_diff(self, pdl, chip):
+        pdl.load_page(0, _page(pdl))
+        pdl.write_page(0, _patched(_page(pdl), 0, b"\x99"))
+        pdl.flush()
+        diff_page = pdl.ppmt.require(0).diff_addr
+        assert diff_page is not None
+        pdl.write_page(0, _page(pdl, 0xEE))  # Case 3
+        assert pdl.ppmt.require(0).diff_addr is None
+        # the old differential page held only pid 0 -> now obsolete
+        assert chip.peek_spare(diff_page).obsolete
+
+    def test_noop_write_costs_nothing_in_flash_writes(self, pdl, chip):
+        pdl.load_page(0, _page(pdl))
+        snap = chip.stats.snapshot()
+        pdl.write_page(0, _page(pdl))  # identical content
+        delta = chip.stats.delta_since(snap)
+        assert delta.totals().writes == 0
+
+    def test_revert_to_base_content_with_stale_diff(self, pdl):
+        """Writing content equal to the base while a differential exists
+        must supersede that differential."""
+        base = _page(pdl)
+        pdl.load_page(0, base)
+        pdl.write_page(0, _patched(base, 0, b"\x99"))
+        pdl.flush()
+        pdl.write_page(0, base)  # back to base content exactly
+        pdl.flush()
+        assert pdl.read_page(0) == base
+
+
+class TestAtMostOnePageWriting:
+    """Design principle 2: one reflection writes at most one page."""
+
+    def test_updates_accumulate_in_one_differential(self, pdl, chip):
+        pdl.load_page(0, _page(pdl))
+        data = _page(pdl)
+        for i in range(3):
+            data = _patched(data, 2, bytes([i + 1]))
+            pdl.write_page(0, data)
+        # the paper's aaaaaa->bbbbba->bcccba: one differential, not a history
+        diff = pdl.buffer.get(0)
+        assert diff is not None
+        assert len(diff.runs) == 1
+
+    def test_reflection_writes_at_most_one_page(self, pdl, chip):
+        for pid in range(8):
+            pdl.load_page(pid, _page(pdl))
+        for pid in range(8):
+            snap = chip.stats.snapshot()
+            pdl.write_page(pid, _patched(_page(pdl), 0, bytes([pid + 1]) * 8))
+            delta = chip.stats.delta_since(snap)
+            # data-page programs (excluding obsolete marks): at most 1
+            assert delta.of_phase(WRITE_STEP).writes <= 2
+
+
+class TestBookkeeping:
+    def test_vdct_counts_match_flash(self, pdl, chip):
+        for pid in range(10):
+            pdl.load_page(pid, _page(pdl, pid))
+        rng = random.Random(2)
+        images = {pid: _page(pdl, pid) for pid in range(10)}
+        for _ in range(200):
+            pid = rng.randrange(10)
+            images[pid] = _patched(
+                images[pid], rng.randrange(pdl.page_size - 8), rng.randbytes(8)
+            )
+            pdl.write_page(pid, images[pid])
+        pdl.flush()
+        # every vdct entry equals the number of pids whose ppmt points there
+        from collections import Counter
+
+        refs = Counter(
+            entry.diff_addr
+            for _pid, entry in pdl.ppmt.items()
+            if entry.diff_addr is not None
+        )
+        assert refs == Counter(dict(pdl.vdct.items()))
+
+    def test_diff_pages_marked_obsolete_when_empty(self, pdl, chip):
+        pdl.load_page(0, _page(pdl))
+        pdl.write_page(0, _patched(_page(pdl), 0, b"\x01"))
+        pdl.flush()
+        first = pdl.ppmt.require(0).diff_addr
+        pdl.write_page(0, _patched(_page(pdl), 0, b"\x02"))
+        pdl.flush()
+        second = pdl.ppmt.require(0).diff_addr
+        assert first != second
+        assert chip.peek_spare(first).obsolete
+
+    def test_timestamps_strictly_increase(self, pdl):
+        pdl.load_page(0, _page(pdl))
+        t0 = pdl.current_ts
+        pdl.write_page(0, _patched(_page(pdl), 0, b"\x01"))
+        assert pdl.current_ts > t0
+
+
+class TestGarbageCollection:
+    def test_gc_compaction_preserves_data(self, tiny_spec):
+        chip = FlashChip(tiny_spec)
+        pdl = PdlDriver(chip, max_differential_size=64)
+        rng = random.Random(3)
+        images = {}
+        for pid in range(16):
+            images[pid] = rng.randbytes(pdl.page_size)
+            pdl.load_page(pid, images[pid])
+        for step in range(600):
+            pid = rng.randrange(16)
+            images[pid] = _patched(
+                images[pid], rng.randrange(pdl.page_size - 8), rng.randbytes(8)
+            )
+            pdl.write_page(pid, images[pid])
+        assert chip.stats.of_phase(GC).erases > 0, "GC never ran"
+        for pid, expected in images.items():
+            assert pdl.read_page(pid) == expected
+
+    def test_relocated_base_keeps_timestamp(self, tiny_spec):
+        """GC copies preserve timestamps so recovery tie-breaks are safe."""
+        chip = FlashChip(tiny_spec)
+        pdl = PdlDriver(chip, max_differential_size=64)
+        rng = random.Random(4)
+        for pid in range(16):
+            pdl.load_page(pid, rng.randbytes(pdl.page_size))
+        ts_before = {pid: pdl.ppmt.require(pid).base_ts for pid in range(16)}
+        data = {pid: pdl.read_page(pid) for pid in range(16)}
+        # churn only pids 0..3 so the others' bases get relocated by GC
+        for step in range(600):
+            pid = rng.randrange(4)
+            data[pid] = _patched(
+                data[pid], rng.randrange(pdl.page_size - 8), rng.randbytes(8)
+            )
+            pdl.write_page(pid, data[pid])
+        for pid in range(4, 16):
+            entry = pdl.ppmt.require(pid)
+            assert entry.base_ts == ts_before[pid]
+            assert chip.peek_spare(entry.base_addr).timestamp == ts_before[pid]

@@ -1,0 +1,101 @@
+"""Unit tests for the ppmt and vdct tables."""
+
+import pytest
+
+from repro.core.tables import (
+    MappingEntry,
+    PhysicalPageMappingTable,
+    ValidDifferentialCountTable,
+)
+
+
+class TestMappingTable:
+    def test_empty(self):
+        ppmt = PhysicalPageMappingTable()
+        assert ppmt.get(0) is None
+        assert 0 not in ppmt
+        assert len(ppmt) == 0
+        with pytest.raises(KeyError):
+            ppmt.require(0)
+
+    def test_set_base_creates_entry(self):
+        ppmt = PhysicalPageMappingTable()
+        ppmt.set_base(1, 100, 5)
+        entry = ppmt.require(1)
+        assert entry == MappingEntry(base_addr=100, base_ts=5, diff_addr=None)
+
+    def test_set_base_clears_diff(self):
+        ppmt = PhysicalPageMappingTable()
+        ppmt.set_base(1, 100, 5)
+        ppmt.set_diff(1, 200)
+        ppmt.set_base(1, 300, 9)
+        entry = ppmt.require(1)
+        assert entry.base_addr == 300
+        assert entry.diff_addr is None
+
+    def test_move_base_preserves_diff(self):
+        ppmt = PhysicalPageMappingTable()
+        ppmt.set_base(1, 100, 5)
+        ppmt.set_diff(1, 200)
+        ppmt.move_base(1, 101)
+        entry = ppmt.require(1)
+        assert entry.base_addr == 101
+        assert entry.base_ts == 5
+        assert entry.diff_addr == 200
+
+    def test_set_diff_requires_entry(self):
+        ppmt = PhysicalPageMappingTable()
+        with pytest.raises(KeyError):
+            ppmt.set_diff(1, 200)
+
+    def test_remove(self):
+        ppmt = PhysicalPageMappingTable()
+        ppmt.set_base(1, 100, 5)
+        assert ppmt.remove(1) is not None
+        assert ppmt.remove(1) is None
+        assert 1 not in ppmt
+
+    def test_iteration(self):
+        ppmt = PhysicalPageMappingTable()
+        ppmt.set_base(1, 100, 5)
+        ppmt.set_base(2, 101, 6)
+        assert sorted(ppmt.pids()) == [1, 2]
+        assert {pid for pid, _ in ppmt.items()} == {1, 2}
+
+
+class TestCountTable:
+    def test_increment_and_count(self):
+        vdct = ValidDifferentialCountTable()
+        vdct.increment(10)
+        vdct.increment(10)
+        assert vdct.count(10) == 2
+        assert vdct.count(11) == 0
+
+    def test_decrement_to_zero_reports_garbage(self):
+        vdct = ValidDifferentialCountTable()
+        vdct.increment(10)
+        vdct.increment(10)
+        assert vdct.decrement(10) is False
+        assert vdct.decrement(10) is True
+        assert vdct.count(10) == 0
+
+    def test_decrement_untracked_raises(self):
+        vdct = ValidDifferentialCountTable()
+        with pytest.raises(KeyError):
+            vdct.decrement(10)
+
+    def test_remove(self):
+        vdct = ValidDifferentialCountTable()
+        vdct.increment(10)
+        assert vdct.remove(10) == 1
+        assert vdct.remove(10) == 0
+
+    def test_total_and_len(self):
+        vdct = ValidDifferentialCountTable()
+        vdct.increment(1)
+        vdct.increment(1)
+        vdct.increment(2)
+        assert vdct.total_valid() == 3
+        assert len(vdct) == 2
+        assert sorted(vdct.pages()) == [1, 2]
+        assert dict(vdct.items()) == {1: 2, 2: 1}

@@ -1,0 +1,90 @@
+"""Unit tests for the differential write buffer."""
+
+import pytest
+
+from repro.core.differential import Differential
+from repro.core.write_buffer import BufferFullError, DifferentialWriteBuffer
+from repro.ftl.base import ChangeRun
+
+
+def _diff(pid, ts=1, nbytes=10):
+    return Differential(pid, ts, (ChangeRun(0, b"x" * nbytes),))
+
+
+@pytest.fixture
+def buf():
+    return DifferentialWriteBuffer(capacity=128)
+
+
+class TestSpaceAccounting:
+    def test_empty(self, buf):
+        assert buf.is_empty
+        assert buf.used == 0
+        assert buf.free_space == 128
+        assert len(buf) == 0
+
+    def test_put_updates_used(self, buf):
+        d = _diff(1)
+        buf.put(d)
+        assert buf.used == d.size
+        assert buf.free_space == 128 - d.size
+
+    def test_replacement_frees_old_space(self, buf):
+        buf.put(_diff(1, ts=1, nbytes=30))
+        buf.put(_diff(1, ts=2, nbytes=10))
+        assert buf.used == _diff(1, nbytes=10).size
+        assert len(buf) == 1
+
+    def test_overflow_raises(self, buf):
+        buf.put(_diff(1, nbytes=80))
+        with pytest.raises(BufferFullError):
+            buf.put(_diff(2, nbytes=80))
+
+    def test_replacement_that_grows_too_big(self, buf):
+        buf.put(_diff(1, nbytes=40))
+        buf.put(_diff(2, nbytes=40))
+        # replacing pid 1 with something too large fails after removal
+        with pytest.raises(BufferFullError):
+            buf.put(_diff(1, nbytes=120))
+        assert 1 not in buf  # the old entry was removed first (Figure 7)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DifferentialWriteBuffer(0)
+
+
+class TestEntryManagement:
+    def test_get(self, buf):
+        d = _diff(5)
+        buf.put(d)
+        assert buf.get(5) == d
+        assert buf.get(6) is None
+
+    def test_contains(self, buf):
+        buf.put(_diff(5))
+        assert 5 in buf
+        assert 6 not in buf
+
+    def test_remove(self, buf):
+        d = _diff(5)
+        buf.put(d)
+        assert buf.remove(5) == d
+        assert buf.remove(5) is None
+        assert buf.is_empty
+
+    def test_newest_wins(self, buf):
+        buf.put(_diff(1, ts=1))
+        buf.put(_diff(1, ts=2))
+        assert buf.get(1).timestamp == 2
+
+    def test_drain_returns_in_insertion_order(self, buf):
+        buf.put(_diff(3))
+        buf.put(_diff(1))
+        buf.put(_diff(2))
+        assert [d.pid for d in buf.drain()] == [3, 1, 2]
+        assert buf.is_empty
+
+    def test_pids(self, buf):
+        buf.put(_diff(3))
+        buf.put(_diff(1))
+        assert set(buf.pids()) == {1, 3}

@@ -1,0 +1,52 @@
+"""Unit tests for address arithmetic."""
+
+import pytest
+
+from repro.flash.address import (
+    PageAddress,
+    block_of,
+    page_range_of_block,
+    split_address,
+)
+from repro.flash.errors import AddressError
+
+
+class TestSplit:
+    def test_first_page(self, tiny_spec):
+        assert split_address(0, tiny_spec) == PageAddress(0, 0)
+
+    def test_mid_page(self, tiny_spec):
+        assert split_address(8 * 3 + 5, tiny_spec) == PageAddress(3, 5)
+
+    def test_last_page(self, tiny_spec):
+        assert split_address(tiny_spec.n_pages - 1, tiny_spec) == PageAddress(15, 7)
+
+    def test_out_of_range(self, tiny_spec):
+        with pytest.raises(AddressError):
+            split_address(tiny_spec.n_pages, tiny_spec)
+        with pytest.raises(AddressError):
+            split_address(-1, tiny_spec)
+
+    def test_flat_roundtrip(self, tiny_spec):
+        for addr in range(tiny_spec.n_pages):
+            assert split_address(addr, tiny_spec).flat(tiny_spec) == addr
+
+
+class TestBlockOf:
+    def test_block_of(self, tiny_spec):
+        assert block_of(0, tiny_spec) == 0
+        assert block_of(7, tiny_spec) == 0
+        assert block_of(8, tiny_spec) == 1
+
+    def test_block_of_bounds(self, tiny_spec):
+        with pytest.raises(AddressError):
+            block_of(tiny_spec.n_pages, tiny_spec)
+
+
+class TestPageRange:
+    def test_range_covers_block(self, tiny_spec):
+        assert list(page_range_of_block(2, tiny_spec)) == list(range(16, 24))
+
+    def test_range_bounds(self, tiny_spec):
+        with pytest.raises(AddressError):
+            page_range_of_block(16, tiny_spec)

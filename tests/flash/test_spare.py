@@ -1,0 +1,98 @@
+"""Unit tests for the spare-area codec."""
+
+import pytest
+
+from repro.flash.spare import (
+    HEADER_SIZE,
+    NO_PID,
+    NO_TS,
+    PageType,
+    SpareArea,
+    erased_spare,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "spare",
+        [
+            SpareArea(type=PageType.BASE, pid=0, timestamp=0),
+            SpareArea(type=PageType.BASE, pid=12345, timestamp=999),
+            SpareArea(type=PageType.DIFFERENTIAL, timestamp=7),
+            SpareArea(type=PageType.DATA, pid=42),
+            SpareArea(type=PageType.LOG),
+            SpareArea(type=PageType.CHECKPOINT, pid=1, timestamp=2),
+            SpareArea(type=PageType.BASE, obsolete=True, pid=9, timestamp=8),
+        ],
+    )
+    def test_encode_decode(self, spare):
+        assert SpareArea.decode(spare.encode(64)) == spare
+
+    def test_max_pid_and_ts(self):
+        spare = SpareArea(type=PageType.BASE, pid=NO_PID - 1, timestamp=NO_TS - 1)
+        assert SpareArea.decode(spare.encode(64)) == spare
+
+    def test_none_fields_survive(self):
+        spare = SpareArea(type=PageType.DIFFERENTIAL)
+        decoded = SpareArea.decode(spare.encode(16))
+        assert decoded.pid is None
+        assert decoded.timestamp is None
+
+
+class TestErasedSemantics:
+    def test_erased_spare_is_all_ones(self):
+        assert erased_spare(64) == b"\xff" * 64
+
+    def test_erased_decodes_as_erased(self):
+        decoded = SpareArea.decode(erased_spare(64))
+        assert decoded.type is PageType.ERASED
+        assert decoded.is_erased
+        assert not decoded.obsolete
+        assert decoded.pid is None
+        assert decoded.timestamp is None
+
+    def test_unknown_type_byte_decodes_erased(self):
+        raw = bytearray(erased_spare(64))
+        raw[0] = 0x77
+        assert SpareArea.decode(bytes(raw)).type is PageType.ERASED
+
+
+class TestObsolete:
+    def test_as_obsolete_sets_flag(self):
+        spare = SpareArea(type=PageType.BASE, pid=1, timestamp=2)
+        assert spare.as_obsolete().obsolete
+
+    def test_as_obsolete_is_bit_clearing(self):
+        """Re-encoding an obsoleted spare only clears bits (NAND-legal)."""
+        spare = SpareArea(type=PageType.BASE, pid=1, timestamp=2)
+        before = int.from_bytes(spare.encode(64), "little")
+        after = int.from_bytes(spare.as_obsolete().encode(64), "little")
+        assert before & after == after
+
+    def test_validity_flags(self):
+        live = SpareArea(type=PageType.BASE, pid=1)
+        dead = live.as_obsolete()
+        assert live.is_valid and not dead.is_valid
+        assert not SpareArea().is_valid  # erased is not "valid data"
+
+
+class TestErrors:
+    def test_encode_needs_room(self):
+        with pytest.raises(ValueError):
+            SpareArea().encode(HEADER_SIZE - 1)
+
+    def test_decode_needs_header(self):
+        with pytest.raises(ValueError):
+            SpareArea.decode(b"\xff" * (HEADER_SIZE - 1))
+
+    def test_pid_out_of_range(self):
+        with pytest.raises(ValueError):
+            SpareArea(type=PageType.BASE, pid=1 << 33).encode(64)
+
+    def test_ts_out_of_range(self):
+        with pytest.raises(ValueError):
+            SpareArea(type=PageType.BASE, timestamp=1 << 65).encode(64)
+
+    def test_padding_is_erased(self):
+        encoded = SpareArea(type=PageType.BASE, pid=1).encode(64)
+        assert encoded[HEADER_SIZE:] == b"\xff" * (64 - HEADER_SIZE)

@@ -1,0 +1,114 @@
+"""Unit tests for phase accounting and snapshots."""
+
+import pytest
+
+from repro.flash.stats import GC, READ_STEP, WRITE_STEP, FlashStats, OpCounts
+
+
+@pytest.fixture
+def stats() -> FlashStats:
+    return FlashStats(n_blocks=4, t_read_us=10.0, t_write_us=100.0, t_erase_us=1000.0)
+
+
+class TestPhases:
+    def test_default_phase(self, stats):
+        stats.record_read()
+        assert stats.of_phase("unattributed").reads == 1
+
+    def test_named_phase(self, stats):
+        with stats.phase(READ_STEP):
+            stats.record_read()
+        assert stats.of_phase(READ_STEP).reads == 1
+        assert stats.of_phase(WRITE_STEP).reads == 0
+
+    def test_nested_phase_charges_innermost(self, stats):
+        with stats.phase(WRITE_STEP):
+            stats.record_write()
+            with stats.phase(GC):
+                stats.record_erase(0)
+            stats.record_write()
+        assert stats.of_phase(WRITE_STEP).writes == 2
+        assert stats.of_phase(GC).erases == 1
+        assert stats.of_phase(WRITE_STEP).erases == 0
+
+    def test_phase_restored_after_exception(self, stats):
+        with pytest.raises(RuntimeError):
+            with stats.phase(GC):
+                raise RuntimeError()
+        assert stats.current_phase == "unattributed"
+
+
+class TestTimeAccounting:
+    def test_time_per_op(self, stats):
+        stats.record_read()
+        stats.record_write()
+        stats.record_erase(1)
+        assert stats.total_time_us == 10.0 + 100.0 + 1000.0
+
+    def test_per_block_wear(self, stats):
+        stats.record_erase(2)
+        stats.record_erase(2)
+        stats.record_erase(3)
+        assert stats.block_erases == [0, 0, 2, 1]
+        assert stats.total_erases == 3
+
+
+class TestSnapshots:
+    def test_delta_isolates_window(self, stats):
+        with stats.phase(WRITE_STEP):
+            stats.record_write()
+        snap = stats.snapshot()
+        with stats.phase(WRITE_STEP):
+            stats.record_write()
+            stats.record_write()
+        delta = stats.delta_since(snap)
+        assert delta.of_phase(WRITE_STEP).writes == 2
+        assert stats.of_phase(WRITE_STEP).writes == 3
+
+    def test_delta_block_erases(self, stats):
+        stats.record_erase(0)
+        snap = stats.snapshot()
+        stats.record_erase(0)
+        stats.record_erase(1)
+        delta = stats.delta_since(snap)
+        assert delta.block_erases == [1, 1, 0, 0]
+        assert delta.max_block_erases() == 1
+
+    def test_snapshot_is_frozen(self, stats):
+        snap = stats.snapshot()
+        stats.record_read()
+        assert snap.totals().reads == 0
+
+    def test_time_of_sums_phases(self, stats):
+        with stats.phase(WRITE_STEP):
+            stats.record_write()
+        with stats.phase(GC):
+            stats.record_erase(0)
+        snap = stats.snapshot()
+        assert snap.time_of(WRITE_STEP, GC) == 100.0 + 1000.0
+
+    def test_reset(self, stats):
+        stats.record_read()
+        stats.record_erase(0)
+        stats.reset()
+        assert stats.total_time_us == 0
+        assert stats.block_erases == [0, 0, 0, 0]
+
+
+class TestOpCounts:
+    def test_add_sub(self):
+        a = OpCounts(reads=2, writes=1, erases=0, time_us=30.0)
+        b = OpCounts(reads=1, writes=1, erases=1, time_us=20.0)
+        assert a.add(b).reads == 3
+        assert a.add(b).time_us == 50.0
+        assert a.sub(b).reads == 1
+        assert a.sub(b).time_us == 10.0
+
+    def test_total_ops(self):
+        assert OpCounts(reads=1, writes=2, erases=3).total_ops == 6
+
+    def test_copy_is_independent(self):
+        a = OpCounts(reads=1)
+        b = a.copy()
+        b.reads = 9
+        assert a.reads == 1

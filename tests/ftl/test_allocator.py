@@ -1,0 +1,166 @@
+"""Unit tests for the block manager (allocation, validity, rebuild)."""
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.flash.spare import PageType, SpareArea
+from repro.ftl.allocator import BlockManager
+from repro.ftl.errors import OutOfSpaceError
+
+
+@pytest.fixture
+def blocks(chip):
+    return BlockManager(chip, reserve_blocks=2)
+
+
+class TestAllocation:
+    def test_sequential_within_block(self, blocks, tiny_spec):
+        addrs = [blocks.allocate() for _ in range(tiny_spec.pages_per_block)]
+        assert addrs == list(range(tiny_spec.pages_per_block))
+
+    def test_crosses_block_boundary(self, blocks, tiny_spec):
+        for _ in range(tiny_spec.pages_per_block):
+            blocks.allocate()
+        next_addr = blocks.allocate()
+        assert next_addr // tiny_spec.pages_per_block != 0
+
+    def test_exhaustion_raises(self, chip, tiny_spec):
+        blocks = BlockManager(chip, reserve_blocks=1)
+        with pytest.raises(OutOfSpaceError):
+            for _ in range(tiny_spec.n_pages + 1):
+                blocks.allocate()
+
+    def test_gc_invoked_at_reserve(self, blocks, tiny_spec):
+        calls = []
+
+        def fake_gc():
+            calls.append(True)
+            # free one block artificially
+            victim = next(iter(blocks.victim_candidates()))
+            blocks.chip.erase_block(victim)
+            blocks.on_block_erased(victim)
+
+        blocks.set_gc(fake_gc)
+        # run the pool down to the reserve
+        for _ in range(tiny_spec.n_pages - 2 * tiny_spec.pages_per_block):
+            blocks.allocate()
+        assert blocks.free_block_count <= blocks.reserve_blocks + 1
+        blocks.allocate()  # eventually triggers gc
+        for _ in range(tiny_spec.pages_per_block * 2):
+            blocks.allocate()
+        assert calls
+
+    def test_gc_allocation_skips_collector(self, blocks, tiny_spec):
+        blocks.set_gc(lambda: (_ for _ in ()).throw(AssertionError("gc ran")))
+        for _ in range(tiny_spec.n_pages - 2 * tiny_spec.pages_per_block):
+            blocks.allocate(for_gc=True)  # may consume the reserve silently
+
+    def test_reserve_validation(self, chip):
+        with pytest.raises(ValueError):
+            BlockManager(chip, reserve_blocks=0)
+        with pytest.raises(ValueError):
+            BlockManager(chip, reserve_blocks=chip.spec.n_blocks)
+
+
+class TestValidity:
+    def test_note_valid_counts(self, blocks):
+        addr = blocks.allocate()
+        blocks.note_valid(addr)
+        assert blocks.is_valid(addr)
+        assert blocks.valid_count(0) == 1
+
+    def test_note_valid_idempotent(self, blocks):
+        addr = blocks.allocate()
+        blocks.note_valid(addr)
+        blocks.note_valid(addr)
+        assert blocks.valid_count(0) == 1
+
+    def test_note_invalid(self, blocks):
+        addr = blocks.allocate()
+        blocks.note_valid(addr)
+        blocks.note_invalid(addr)
+        assert not blocks.is_valid(addr)
+        assert blocks.valid_count(0) == 0
+
+    def test_valid_pages_in(self, blocks):
+        a = blocks.allocate()
+        b = blocks.allocate()
+        blocks.note_valid(a)
+        blocks.note_valid(b)
+        blocks.note_invalid(a)
+        assert blocks.valid_pages_in(0) == [b]
+
+    def test_utilization(self, blocks, tiny_spec):
+        for _ in range(tiny_spec.pages_per_block):
+            blocks.note_valid(blocks.allocate())
+        assert blocks.utilization() == pytest.approx(1.0 / tiny_spec.n_blocks)
+
+
+class TestVictims:
+    def test_active_block_not_candidate(self, blocks):
+        blocks.allocate()
+        assert blocks.active_block not in set(blocks.victim_candidates())
+
+    def test_free_blocks_not_candidates(self, blocks, tiny_spec):
+        # seal block 0 with garbage
+        for _ in range(tiny_spec.pages_per_block):
+            blocks.allocate()
+        blocks.allocate()  # opens block 1 (now active)
+        candidates = set(blocks.victim_candidates())
+        assert candidates == {0}
+
+    def test_garbage_in(self, blocks, tiny_spec):
+        addr = blocks.allocate()
+        blocks.note_valid(addr)
+        assert blocks.garbage_in(0) == tiny_spec.pages_per_block - 1
+
+
+class TestBlockLifecycle:
+    def test_on_block_erased_returns_to_pool(self, blocks, chip, tiny_spec):
+        for _ in range(tiny_spec.pages_per_block):
+            blocks.note_valid(blocks.allocate())
+        free_before = blocks.free_block_count
+        chip.erase_block(0)
+        blocks.on_block_erased(0)
+        assert blocks.free_block_count == free_before + 1
+        assert blocks.valid_count(0) == 0
+        assert blocks.is_free(0)
+
+
+class TestExcludedRegion:
+    def test_excluded_blocks_never_allocated(self, chip, tiny_spec):
+        blocks = BlockManager(chip, reserve_blocks=2, exclude_blocks=3)
+        seen_blocks = set()
+        for _ in range((tiny_spec.n_blocks - 5) * tiny_spec.pages_per_block):
+            seen_blocks.add(blocks.allocate() // tiny_spec.pages_per_block)
+        assert seen_blocks.isdisjoint({0, 1, 2})
+
+    def test_excluded_blocks_never_victims(self, chip):
+        blocks = BlockManager(chip, reserve_blocks=2, exclude_blocks=3)
+        assert set(blocks.victim_candidates()).isdisjoint({0, 1, 2})
+
+    def test_rebuild_keeps_exclusion(self, chip):
+        blocks = BlockManager(chip, reserve_blocks=2, exclude_blocks=2)
+        blocks.rebuild(set())
+        assert not blocks.is_free(0)
+        assert not blocks.is_free(1)
+        assert blocks.free_block_count == chip.spec.n_blocks - 2
+
+
+class TestRebuild:
+    def test_rebuild_classifies_blocks(self, chip, tiny_spec):
+        blocks = BlockManager(chip, reserve_blocks=2)
+        # program one page in block 3 so it is sealed, leave others erased
+        chip.program_page(
+            3 * tiny_spec.pages_per_block, b"\x00", SpareArea(type=PageType.DATA)
+        )
+        blocks.rebuild({3 * tiny_spec.pages_per_block})
+        assert not blocks.is_free(3)
+        assert blocks.free_block_count == tiny_spec.n_blocks - 1
+        assert blocks.valid_count(3) == 1
+
+    def test_rebuild_resets_allocation_point(self, chip):
+        blocks = BlockManager(chip, reserve_blocks=2)
+        blocks.allocate()
+        blocks.rebuild(set())
+        assert blocks.active_block is None

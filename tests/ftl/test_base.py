@@ -1,0 +1,74 @@
+"""Unit tests for the driver contract helpers (ChangeRun, apply_runs)."""
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.ftl.base import ChangeRun, PageUpdateMethod, apply_runs
+
+
+class TestChangeRun:
+    def test_properties(self):
+        run = ChangeRun(10, b"abc")
+        assert run.length == 3
+        assert run.end == 13
+
+    def test_is_tuple(self):
+        offset, data = ChangeRun(5, b"x")
+        assert (offset, data) == (5, b"x")
+
+
+class TestApplyRuns:
+    def test_empty_runs_returns_same(self):
+        page = b"hello world"
+        assert apply_runs(page, []) is page
+
+    def test_single_run(self):
+        assert apply_runs(b"aaaa", [ChangeRun(1, b"bb")]) == b"abba"
+
+    def test_runs_apply_in_order(self):
+        result = apply_runs(b"....", [ChangeRun(0, b"xx"), ChangeRun(1, b"y")])
+        assert result == b"xy.."
+
+    def test_overlapping_runs_last_wins(self):
+        result = apply_runs(b"....", [ChangeRun(0, b"ab"), ChangeRun(0, b"c")])
+        assert result == b"cb.."
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            apply_runs(b"ab", [ChangeRun(1, b"xy")])
+        with pytest.raises(ValueError):
+            apply_runs(b"ab", [ChangeRun(-1, b"x")])
+
+    def test_does_not_mutate_input(self):
+        page = b"aaaa"
+        apply_runs(page, [ChangeRun(0, b"b")])
+        assert page == b"aaaa"
+
+
+class TestAbstractContract:
+    def test_cannot_instantiate_base(self, tiny_spec):
+        with pytest.raises(TypeError):
+            PageUpdateMethod(FlashChip(tiny_spec))  # type: ignore[abstract]
+
+    def test_helpers_via_minimal_subclass(self, tiny_spec):
+        class Minimal(PageUpdateMethod):
+            def load_page(self, pid, data):
+                self._check_page(pid, data)
+
+            def read_page(self, pid):
+                return b""
+
+            def write_page(self, pid, data, update_logs=None):
+                self._check_page(pid, data)
+
+        chip = FlashChip(tiny_spec)
+        driver = Minimal(chip)
+        assert driver.page_size == tiny_spec.page_data_size
+        assert driver.spec is tiny_spec
+        assert driver.stats is chip.stats
+        driver.flush()  # default no-op
+        driver.end_of_load()  # default no-op
+        with pytest.raises(ValueError):
+            driver.load_page(0, b"short")
+        with pytest.raises(ValueError):
+            driver.load_page(-3, b"\x00" * driver.page_size)

@@ -1,0 +1,115 @@
+"""Unit tests for the GC engine with a scripted relocation handler."""
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.flash.spare import PageType, SpareArea
+from repro.flash.stats import GC
+from repro.ftl.allocator import BlockManager
+from repro.ftl.errors import OutOfSpaceError
+from repro.ftl.gc import GarbageCollector, greedy_policy
+
+
+class RecordingHandler:
+    """Relocates valid pages verbatim and records the calls."""
+
+    def __init__(self, chip, blocks):
+        self.chip = chip
+        self.blocks = blocks
+        self.relocated = []
+        self.finished = []
+
+    def relocate_page(self, addr, data, spare):
+        new = self.blocks.allocate(for_gc=True)
+        self.chip.program_page(new, data, spare)
+        self.blocks.note_valid(new)
+        self.relocated.append((addr, new))
+
+    def finish_victim(self, block):
+        self.finished.append(block)
+
+
+@pytest.fixture
+def setup(chip):
+    blocks = BlockManager(chip, reserve_blocks=2)
+    handler = RecordingHandler(chip, blocks)
+    gc = GarbageCollector(chip, blocks, handler)
+    return chip, blocks, handler, gc
+
+
+def _fill(chip, blocks, n_pages, valid_every=2):
+    """Program pages, marking every ``valid_every``-th one valid."""
+    for i in range(n_pages):
+        addr = blocks.allocate()
+        chip.program_page(addr, b"\x10", SpareArea(type=PageType.DATA, pid=i))
+        if i % valid_every == 0:
+            blocks.note_valid(addr)
+
+
+class TestCollection:
+    def test_collect_reclaims_garbage(self, setup, tiny_spec):
+        chip, blocks, handler, gc = setup
+        _fill(chip, blocks, tiny_spec.pages_per_block * 4, valid_every=2)
+        before = blocks.free_block_count
+        # Drain the pool so collect has work to do.
+        while blocks.free_block_count > blocks.reserve_blocks:
+            block = blocks._free[0]  # peek
+            blocks.allocate()
+            for _ in range(tiny_spec.pages_per_block - 1):
+                blocks.allocate()
+        gc.collect()
+        assert blocks.free_block_count > blocks.reserve_blocks
+        assert gc.collections >= 1
+
+    def test_valid_pages_survive(self, setup, tiny_spec):
+        chip, blocks, handler, gc = setup
+        _fill(chip, blocks, tiny_spec.pages_per_block, valid_every=2)
+        victim = 0
+        expected = {
+            chip.peek_spare(a).pid for a in blocks.valid_pages_in(victim)
+        }
+        gc._reclaim(victim)
+        assert handler.finished == [victim]
+        survivors = {
+            chip.peek_spare(new).pid for _old, new in handler.relocated
+        }
+        assert survivors == expected
+        assert chip.is_block_erased(victim)
+
+    def test_gc_phase_attribution(self, setup, tiny_spec):
+        chip, blocks, handler, gc = setup
+        _fill(chip, blocks, tiny_spec.pages_per_block, valid_every=2)
+        with chip.stats.phase(GC):
+            gc._reclaim(0)
+        assert chip.stats.of_phase(GC).erases == 1
+        assert chip.stats.of_phase(GC).reads >= 1
+
+    def test_out_of_space_when_everything_valid(self, setup, tiny_spec):
+        chip, blocks, handler, gc = setup
+        # every page valid -> no reclaimable garbage
+        for i in range(tiny_spec.n_pages - 2 * tiny_spec.pages_per_block):
+            addr = blocks.allocate()
+            chip.program_page(addr, b"\x01", SpareArea(type=PageType.DATA, pid=i))
+            blocks.note_valid(addr)
+        with pytest.raises(OutOfSpaceError):
+            for i in range(3 * tiny_spec.pages_per_block):
+                addr = blocks.allocate()
+                chip.program_page(
+                    addr, b"\x01", SpareArea(type=PageType.DATA, pid=10_000 + i)
+                )
+                blocks.note_valid(addr)
+
+
+class TestGreedyPolicy:
+    def test_picks_most_garbage(self, setup, tiny_spec):
+        chip, blocks, handler, gc = setup
+        ppb = tiny_spec.pages_per_block
+        # block 0: all garbage; block 1: half valid
+        _fill(chip, blocks, ppb, valid_every=ppb + 1)
+        _fill(chip, blocks, ppb, valid_every=2)
+        blocks.allocate()  # open block 2 as active
+        assert greedy_policy(blocks) == 0
+
+    def test_none_when_no_candidates(self, chip):
+        blocks = BlockManager(chip, reserve_blocks=2)
+        assert greedy_policy(blocks) is None

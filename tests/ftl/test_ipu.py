@@ -1,0 +1,69 @@
+"""IPU-specific tests: the in-place update's four-step overwrite."""
+
+import pytest
+
+from repro.flash.stats import WRITE_STEP
+from repro.ftl.ipu import IpuDriver
+
+
+@pytest.fixture
+def ipu(chip):
+    return IpuDriver(chip)
+
+
+def _page(driver, fill=0x11):
+    return bytes([fill]) * driver.page_size
+
+
+class TestPlacement:
+    def test_mapping_is_fixed(self, ipu):
+        ipu.load_page(0, _page(ipu))
+        addr = ipu.mapping[0]
+        for i in range(5):
+            ipu.write_page(0, _page(ipu, i))
+        assert ipu.mapping[0] == addr
+
+    def test_sequential_load_placement(self, ipu):
+        for pid in range(10):
+            ipu.load_page(pid, _page(ipu, pid))
+        assert [ipu.mapping[p] for p in range(10)] == list(range(10))
+
+
+class TestFourStepOverwrite:
+    def test_write_cost(self, ipu, chip, tiny_spec):
+        """(Npage-1) reads + 1 erase + Npage writes for a full block."""
+        ppb = tiny_spec.pages_per_block
+        for pid in range(ppb):
+            ipu.load_page(pid, _page(ipu, pid))
+        snap = chip.stats.snapshot()
+        ipu.write_page(0, _page(ipu, 0xEE))
+        delta = chip.stats.delta_since(snap)
+        assert delta.of_phase(WRITE_STEP).reads == ppb - 1
+        assert delta.of_phase(WRITE_STEP).writes == ppb
+        assert delta.of_phase(WRITE_STEP).erases == 1
+
+    def test_write_cost_partial_block(self, ipu, chip):
+        """Only occupied neighbours are read/rewritten."""
+        for pid in range(3):
+            ipu.load_page(pid, _page(ipu, pid))
+        snap = chip.stats.snapshot()
+        ipu.write_page(1, _page(ipu, 0xEE))
+        delta = chip.stats.delta_since(snap)
+        assert delta.totals().reads == 2
+        assert delta.totals().writes == 3
+        assert delta.totals().erases == 1
+
+    def test_neighbours_survive_overwrite(self, ipu, tiny_spec):
+        ppb = tiny_spec.pages_per_block
+        for pid in range(ppb):
+            ipu.load_page(pid, _page(ipu, pid))
+        ipu.write_page(3, _page(ipu, 0xEE))
+        for pid in range(ppb):
+            expected = _page(ipu, 0xEE if pid == 3 else pid)
+            assert ipu.read_page(pid) == expected
+
+    def test_every_write_erases(self, ipu, chip):
+        ipu.load_page(0, _page(ipu))
+        for i in range(5):
+            ipu.write_page(0, _page(ipu, i))
+        assert chip.stats.total_erases == 5

@@ -1,0 +1,90 @@
+"""OPU-specific tests: cost model and out-place mechanics (Section 3)."""
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.flash.stats import GC, READ_STEP, WRITE_STEP
+from repro.ftl.opu import OpuDriver
+
+
+@pytest.fixture
+def opu(chip):
+    return OpuDriver(chip)
+
+
+def _page(driver, fill=0x11):
+    return bytes([fill]) * driver.page_size
+
+
+class TestCostModel:
+    def test_read_costs_one_read(self, opu, chip):
+        opu.load_page(0, _page(opu))
+        snap = chip.stats.snapshot()
+        opu.read_page(0)
+        delta = chip.stats.delta_since(snap)
+        assert delta.of_phase(READ_STEP).reads == 1
+        assert delta.totals().writes == 0
+
+    def test_write_costs_two_writes(self, opu, chip):
+        """Program the new copy + obsolete the old one (Figure 12b)."""
+        opu.load_page(0, _page(opu))
+        snap = chip.stats.snapshot()
+        opu.write_page(0, _page(opu, 0x22))
+        delta = chip.stats.delta_since(snap)
+        assert delta.of_phase(WRITE_STEP).writes == 2
+        assert delta.of_phase(WRITE_STEP).reads == 0
+
+    def test_first_write_costs_one_write(self, opu, chip):
+        snap = chip.stats.snapshot()
+        opu.write_page(0, _page(opu))
+        delta = chip.stats.delta_since(snap)
+        assert delta.totals().writes == 1
+
+
+class TestOutPlaceMechanics:
+    def test_write_moves_physical_page(self, opu):
+        opu.load_page(0, _page(opu))
+        old = opu.mapping[0]
+        opu.write_page(0, _page(opu, 0x22))
+        assert opu.mapping[0] != old
+
+    def test_old_copy_marked_obsolete(self, opu, chip):
+        opu.load_page(0, _page(opu))
+        old = opu.mapping[0]
+        opu.write_page(0, _page(opu, 0x22))
+        assert chip.peek_spare(old).obsolete
+        assert not chip.peek_spare(opu.mapping[0]).obsolete
+
+    def test_update_logs_ignored(self, opu):
+        """OPU is loosely-coupled: logs may be passed but are unused."""
+        opu.load_page(0, _page(opu))
+        opu.write_page(0, _page(opu, 0x33), update_logs=[])
+        assert opu.read_page(0) == _page(opu, 0x33)
+        assert not opu.tightly_coupled
+
+
+class TestGarbageCollection:
+    def test_gc_reclaims_and_preserves(self, opu, chip, tiny_spec):
+        """Sustained overwrites force GC; every page stays readable."""
+        n_pages = 16
+        for pid in range(n_pages):
+            opu.load_page(pid, _page(opu, pid))
+        writes = tiny_spec.n_pages  # enough to wrap the chip
+        for i in range(writes):
+            pid = i % n_pages
+            opu.write_page(pid, bytes([pid, i % 256]) + _page(opu, pid)[2:])
+        assert chip.stats.of_phase(GC).erases > 0
+        for pid in range(n_pages):
+            data = opu.read_page(pid)
+            assert data[0] == pid
+
+    def test_gc_relocation_updates_mapping(self, opu, chip, tiny_spec):
+        for pid in range(8):
+            opu.load_page(pid, _page(opu, pid))
+        for i in range(tiny_spec.n_pages):
+            opu.write_page(i % 8, _page(opu, i % 8))
+        # mappings must point at valid, non-obsolete pages
+        for pid, addr in opu.mapping.items():
+            spare = chip.peek_spare(addr)
+            assert spare.pid == pid
+            assert spare.is_valid

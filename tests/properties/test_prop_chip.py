@@ -1,0 +1,64 @@
+"""Property-based tests for NAND chip semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.chip import FlashChip
+from repro.flash.spare import PageType, SpareArea
+from repro.flash.spec import FlashSpec
+
+SPEC = FlashSpec(n_blocks=4, pages_per_block=4, page_data_size=64, page_spare_size=16)
+
+
+class TestProgramErase:
+    @given(data=st.binary(max_size=64))
+    def test_program_read_identity(self, data):
+        chip = FlashChip(SPEC)
+        chip.program_page(0, data, SpareArea(type=PageType.DATA, pid=1))
+        stored, _ = chip.read_page(0)
+        assert stored[: len(data)] == data
+        assert stored[len(data) :] == b"\xff" * (64 - len(data))
+
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 15), st.binary(min_size=1, max_size=64)),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50)
+    def test_clock_equals_sum_of_latencies(self, writes):
+        chip = FlashChip(SPEC)
+        expected = 0.0
+        programmed = set()
+        for addr, data in writes:
+            if addr in programmed:
+                continue
+            chip.program_page(addr, data, SpareArea(type=PageType.DATA))
+            programmed.add(addr)
+            expected += SPEC.t_write_us
+        assert chip.clock_us == expected
+
+    @given(
+        offsets=st.lists(st.integers(0, 3), min_size=0, max_size=4, unique=True)
+    )
+    def test_partial_programs_merge(self, offsets):
+        chip = FlashChip(SPEC)
+        for i in offsets:
+            chip.program_partial(0, i * 16, bytes([i]) * 16)
+        data, _ = chip.read_page(0)
+        for i in range(4):
+            chunk = data[i * 16 : (i + 1) * 16]
+            if i in offsets:
+                assert chunk == bytes([i]) * 16
+            else:
+                assert chunk == b"\xff" * 16
+
+    @given(block=st.integers(0, 3), n_cycles=st.integers(1, 5))
+    def test_erase_program_cycles(self, block, n_cycles):
+        chip = FlashChip(SPEC)
+        addr = block * 4
+        for cycle in range(n_cycles):
+            chip.program_page(addr, bytes([cycle]) * 8, SpareArea(type=PageType.DATA))
+            chip.erase_block(block)
+        assert chip.is_block_erased(block)
+        assert chip.erase_count(block) == n_cycles

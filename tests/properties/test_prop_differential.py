@@ -1,0 +1,87 @@
+"""Property-based tests for the differential codec (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.differential import (
+    Differential,
+    compute_runs,
+    compute_unit_runs,
+    decode_differential_page,
+    encode_differential_page,
+)
+from repro.ftl.base import ChangeRun
+
+PAGE = 128
+
+pages = st.binary(min_size=PAGE, max_size=PAGE)
+gaps = st.integers(min_value=0, max_value=8)
+units = st.sampled_from([1, 4, 8, 16, 32])
+
+
+class TestComputeApplyInversion:
+    """The fundamental invariant: apply(base, diff(base, new)) == new."""
+
+    @given(base=pages, new=pages, gap=gaps)
+    def test_bytewise_roundtrip(self, base, new, gap):
+        diff = Differential(0, 1, compute_runs(base, new, coalesce_gap=gap))
+        assert diff.apply(base) == new
+
+    @given(base=pages, new=pages, unit=units)
+    def test_unit_roundtrip(self, base, new, unit):
+        diff = Differential(0, 1, compute_unit_runs(base, new, unit=unit))
+        assert diff.apply(base) == new
+
+    @given(base=pages, new=pages)
+    def test_empty_iff_equal(self, base, new):
+        runs = compute_runs(base, new)
+        assert (runs == ()) == (base == new)
+
+    @given(base=pages, new=pages, gap=gaps)
+    def test_runs_sorted_and_disjoint(self, base, new, gap):
+        runs = compute_runs(base, new, coalesce_gap=gap)
+        for a, b in zip(runs, runs[1:]):
+            assert a.end <= b.offset
+
+    @given(base=pages, new=pages, unit=units)
+    def test_unit_runs_cover_every_change(self, base, new, unit):
+        covered = set()
+        for run in compute_unit_runs(base, new, unit=unit):
+            covered.update(range(run.offset, run.end))
+        for i, (x, y) in enumerate(zip(base, new)):
+            if x != y:
+                assert i in covered
+
+    @given(base=pages, new=pages)
+    def test_size_counts_encoding_exactly(self, base, new):
+        diff = Differential(3, 9, compute_runs(base, new))
+        assert len(diff.encode()) == diff.size
+
+
+class TestCodecRoundTrips:
+    diff_strategy = st.builds(
+        Differential,
+        pid=st.integers(min_value=0, max_value=2**32 - 1),
+        timestamp=st.integers(min_value=0, max_value=2**63),
+        runs=st.lists(
+            st.builds(
+                ChangeRun,
+                offset=st.integers(min_value=0, max_value=60000),
+                data=st.binary(min_size=1, max_size=64),
+            ),
+            max_size=8,
+        ).map(tuple),
+    )
+
+    @given(diff=diff_strategy)
+    def test_entry_roundtrip(self, diff):
+        decoded, pos = Differential.decode_from(diff.encode(), 0)
+        assert decoded == diff
+        assert pos == diff.size
+
+    @given(diffs=st.lists(diff_strategy, max_size=5, unique_by=lambda d: d.pid))
+    @settings(max_examples=50)
+    def test_page_roundtrip(self, diffs):
+        total = 4 + sum(d.size for d in diffs)
+        payload = encode_differential_page(diffs, max(total, 16))
+        assert decode_differential_page(payload) == diffs

@@ -1,0 +1,68 @@
+"""Model-based property tests: every driver behaves like a dict of pages.
+
+Hypothesis drives random operation sequences against each page-update
+method and a plain in-memory model; any divergence is a correctness bug.
+This is the library's strongest functional guarantee — it subsumes GC,
+merging, buffering and compaction behaviour for all drivers.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.flash.chip import FlashChip
+from repro.flash.spec import FlashSpec
+from repro.ftl.base import ChangeRun
+from repro.methods import make_method
+
+SPEC = FlashSpec(
+    n_blocks=12, pages_per_block=8, page_data_size=256, page_spare_size=16
+)
+N_PIDS = 8
+PAGE = SPEC.page_data_size
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "patch", "flush"]),
+        st.integers(0, N_PIDS - 1),
+        st.integers(0, PAGE - 8),
+        st.binary(min_size=1, max_size=8),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+LABELS = ["PDL (32B)", "PDL (240B)", "OPU", "IPU", "IPL (512B)"]
+
+
+@st.composite
+def sequences(draw):
+    return draw(ops)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seq=sequences(), label=st.sampled_from(LABELS))
+def test_driver_matches_model(seq, label):
+    chip = FlashChip(SPEC)
+    driver = make_method(label, chip)
+    model = {}
+    for pid in range(N_PIDS):
+        image = bytes([pid]) * PAGE
+        driver.load_page(pid, image)
+        model[pid] = image
+    for op, pid, offset, payload in seq:
+        if op == "read":
+            assert driver.read_page(pid) == model[pid]
+        elif op == "flush":
+            driver.flush()
+        else:
+            image = bytearray(model[pid])
+            if op == "write":
+                image = bytearray(payload * (PAGE // len(payload) + 1))[:PAGE]
+                runs = [ChangeRun(0, bytes(image))]
+            else:
+                image[offset : offset + len(payload)] = payload
+                runs = [ChangeRun(offset, payload)]
+            model[pid] = bytes(image)
+            driver.write_page(pid, model[pid], update_logs=runs)
+    for pid, expected in model.items():
+        assert driver.read_page(pid) == expected

@@ -1,0 +1,78 @@
+"""Property-based tests for the storage engine (B+tree, slotted pages)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pdl import PdlDriver
+from repro.flash.chip import FlashChip
+from repro.flash.spec import FlashSpec
+from repro.storage.btree import BTree
+from repro.storage.db import Database
+from repro.storage.page import Page
+from repro.storage.slotted import SlottedPage
+
+SPEC = FlashSpec(
+    n_blocks=48, pages_per_block=8, page_data_size=256, page_spare_size=16
+)
+
+
+class TestBTreeAgainstDict:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "get", "del"]),
+                st.integers(0, 200),
+                st.integers(0, 2**32),
+            ),
+            max_size=120,
+        )
+    )
+    def test_model_equivalence(self, ops):
+        chip = FlashChip(SPEC)
+        db = Database(PdlDriver(chip, max_differential_size=64), buffer_capacity=16)
+        tree = BTree(db)
+        model = {}
+        for op, key, value in ops:
+            if op == "put":
+                tree.insert(key, value)
+                model[key] = value
+            elif op == "get":
+                assert tree.get(key) == model.get(key)
+            else:
+                assert tree.delete(key) == (key in model)
+                model.pop(key, None)
+        assert [k for k, _ in tree.items()] == sorted(model)
+        tree.check_invariants()
+
+
+class TestSlottedPageAgainstDict:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "update"]),
+                st.binary(min_size=1, max_size=24),
+            ),
+            max_size=40,
+        )
+    )
+    def test_model_equivalence(self, ops):
+        spage = SlottedPage.format(Page(0, bytes(256)))
+        model = {}
+        for op, payload in ops:
+            if op == "insert":
+                slot = spage.insert(payload)
+                if slot is not None:
+                    model[slot] = payload
+            elif model:
+                slot = sorted(model)[0]
+                if op == "delete":
+                    spage.delete(slot)
+                    del model[slot]
+                else:
+                    if spage.update(slot, payload):
+                        model[slot] = payload
+        assert dict(spage.records()) == model
+        assert spage.live_records == len(model)

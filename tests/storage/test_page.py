@@ -1,0 +1,84 @@
+"""Unit tests for buffered pages and change-log recording."""
+
+import pytest
+
+from repro.storage.page import Page
+
+
+@pytest.fixture
+def page():
+    return Page(0, bytes(64))
+
+
+class TestReadWrite:
+    def test_initial_state(self, page):
+        assert not page.dirty
+        assert page.change_log == []
+        assert page.data == bytes(64)
+
+    def test_write_applies_and_logs(self, page):
+        page.write(4, b"abc")
+        assert page.data[4:7] == b"abc"
+        assert page.dirty
+        assert len(page.change_log) == 1
+        assert page.change_log[0].offset == 4
+        assert page.change_log[0].data == b"abc"
+
+    def test_multiple_writes_accumulate(self, page):
+        page.write(0, b"x")
+        page.write(10, b"y")
+        assert len(page.change_log) == 2
+
+    def test_empty_write_is_noop(self, page):
+        page.write(0, b"")
+        assert not page.dirty
+        assert page.change_log == []
+
+    def test_bounds_checked(self, page):
+        with pytest.raises(ValueError):
+            page.write(62, b"abc")
+        with pytest.raises(ValueError):
+            page.read(60, 10)
+
+    def test_read_returns_copy(self, page):
+        page.write(0, b"abc")
+        chunk = page.read(0, 3)
+        assert chunk == b"abc"
+
+    def test_clear_log(self, page):
+        page.write(0, b"abc")
+        page.clear_log()
+        assert not page.dirty
+        assert page.change_log == []
+        assert page.data[:3] == b"abc"  # content kept
+
+
+class TestWriteDelta:
+    def test_logs_only_changed_bytes(self, page):
+        page.write(0, b"AAAA")
+        page.clear_log()
+        page.write_delta(0, b"AABA")
+        assert len(page.change_log) == 1
+        assert page.change_log[0].offset == 2
+        assert page.change_log[0].data == b"B"
+
+    def test_identical_content_logs_nothing(self, page):
+        page.write(0, b"AAAA")
+        page.clear_log()
+        page.write_delta(0, b"AAAA")
+        assert page.change_log == []
+        assert not page.dirty
+
+
+class TestPinning:
+    def test_pin_unpin(self, page):
+        page.pin()
+        page.pin()
+        assert page.pin_count == 2
+        page.unpin()
+        page.unpin()
+        assert page.pin_count == 0
+
+    def test_over_unpin(self, page):
+        with pytest.raises(RuntimeError):
+            page.unpin()

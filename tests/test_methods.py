@@ -1,0 +1,77 @@
+"""Tests for the driver registry / label parsing."""
+
+import pytest
+
+from repro.core.pdl import PdlDriver
+from repro.flash.chip import FlashChip
+from repro.ftl.ipl import IplDriver
+from repro.ftl.ipu import IpuDriver
+from repro.ftl.opu import OpuDriver
+from repro.methods import (
+    PAPER_METHODS,
+    PAPER_METHODS_NO_IPU,
+    make_method,
+    method_labels,
+)
+
+
+class TestLabelParsing:
+    def test_opu(self, chip):
+        assert isinstance(make_method("OPU", chip), OpuDriver)
+
+    def test_ipu(self, chip):
+        assert isinstance(make_method("ipu", chip), IpuDriver)
+
+    def test_pdl_bytes(self, chip):
+        driver = make_method("PDL (64B)", chip)
+        assert isinstance(driver, PdlDriver)
+        assert driver.max_differential_size == 64
+
+    def test_pdl_kilobytes(self, tiny_spec):
+        from repro.flash.spec import SAMSUNG_K9L8G08U0M
+
+        chip = FlashChip(SAMSUNG_K9L8G08U0M.scaled(8))
+        driver = make_method("PDL (2KB)", chip)
+        assert driver.max_differential_size == 2048
+
+    def test_ipl(self, chip):
+        driver = make_method("IPL (512B)", chip)
+        assert isinstance(driver, IplDriver)
+        assert driver.log_region_bytes == 512
+
+    def test_whitespace_and_case_tolerated(self, chip):
+        assert isinstance(make_method("  pdl( 64 B )".replace(" ", ""), chip), PdlDriver)
+        assert isinstance(make_method("opu", chip), OpuDriver)
+
+    def test_unknown_label(self, chip):
+        with pytest.raises(ValueError):
+            make_method("LSM (4KB)", chip)
+        with pytest.raises(ValueError):
+            make_method("PDL", chip)
+
+    def test_kwargs_forwarded(self, chip):
+        driver = make_method("PDL (64B)", chip, diff_unit=None)
+        assert driver.diff_unit is None
+
+
+class TestMethodLists:
+    def test_paper_methods_complete(self):
+        assert set(PAPER_METHODS) == {
+            "IPL (18KB)", "IPL (64KB)", "PDL (2KB)", "PDL (256B)", "OPU", "IPU",
+        }
+
+    def test_no_ipu_variant(self):
+        assert "IPU" not in PAPER_METHODS_NO_IPU
+        assert len(PAPER_METHODS_NO_IPU) == 5
+
+    def test_method_labels(self):
+        assert method_labels() == list(PAPER_METHODS)
+        assert method_labels(include_ipu=False) == list(PAPER_METHODS_NO_IPU)
+
+    def test_labels_roundtrip_to_names(self):
+        """Constructed drivers report the exact label they were made from."""
+        from repro.flash.spec import SAMSUNG_K9L8G08U0M
+
+        for label in PAPER_METHODS:
+            chip = FlashChip(SAMSUNG_K9L8G08U0M.scaled(8))
+            assert make_method(label, chip).name == label

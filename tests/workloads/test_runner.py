@@ -1,0 +1,77 @@
+"""Unit tests for the measurement runner and steady-state warm-up."""
+
+import pytest
+
+from repro.flash.spec import TINY_SPEC
+from repro.workloads.runner import (
+    MethodMeasurement,
+    RunnerConfig,
+    aging_horizon,
+    build_workload,
+    measure_updates,
+    warm_to_steady_state,
+)
+
+SMALL = RunnerConfig(
+    database_pages=64, measure_ops=40, base_spec=TINY_SPEC, utilization=0.25
+)
+
+
+class TestAgingHorizon:
+    def test_pdl_horizon_grows_with_max_diff(self):
+        wl_small = build_workload("PDL (64B)", SMALL, 2.0, 1)
+        wl_big = build_workload("PDL (256B)", SMALL, 2.0, 1)
+        h_small = aging_horizon(wl_small.driver, wl_small.change_size)
+        h_big = aging_horizon(wl_big.driver, wl_big.change_size)
+        assert h_big > h_small >= 1
+
+    def test_non_pdl_horizon_is_one(self):
+        wl = build_workload("OPU", SMALL, 2.0, 1)
+        assert aging_horizon(wl.driver, wl.change_size) == 1
+
+    def test_large_changes_cap_horizon(self):
+        wl = build_workload("PDL (256B)", SMALL, 100.0, 1)
+        assert aging_horizon(wl.driver, wl.change_size) == 1
+
+
+class TestWarmup:
+    def test_warmup_reaches_gc_activity(self):
+        wl = build_workload("OPU", SMALL, 2.0, 1)
+        warm_to_steady_state(wl, SMALL)
+        assert wl.driver.stats.total_erases >= TINY_SPEC.n_blocks // 2
+
+    def test_warmup_preserves_data(self):
+        wl = build_workload("PDL (64B)", SMALL, 2.0, 1)
+        warm_to_steady_state(wl, SMALL)
+        wl.verify_all()
+
+    def test_ipu_warmup_is_short(self):
+        wl = build_workload("IPU", SMALL, 2.0, 1)
+        ops = warm_to_steady_state(wl, SMALL)
+        assert ops == SMALL.database_pages  # aging pass only
+
+
+class TestMeasurement:
+    def test_measure_updates_shape(self):
+        m = measure_updates("OPU", SMALL, pct_changed=2.0)
+        assert isinstance(m, MethodMeasurement)
+        assert m.n_ops == SMALL.measure_ops
+        assert m.read_us > 0
+        assert m.write_us > 0
+        assert m.overall_us == pytest.approx(m.read_us + m.write_us + m.gc_us)
+
+    def test_opu_exact_costs(self):
+        """OPU's per-op cost is deterministic: 1 read + 2 writes (+GC)."""
+        m = measure_updates("OPU", SMALL, pct_changed=2.0)
+        assert m.read_us == pytest.approx(TINY_SPEC.t_read_us)
+        assert m.write_us == pytest.approx(2 * TINY_SPEC.t_write_us)
+
+    def test_as_dict_roundtrip(self):
+        m = measure_updates("IPU", SMALL, pct_changed=2.0)
+        d = m.as_dict()
+        assert d["label"] == "IPU"
+        assert d["overall_us"] == pytest.approx(m.overall_us)
+
+    def test_spec_scaling(self):
+        spec = SMALL.spec()
+        assert spec.n_pages >= SMALL.database_pages / SMALL.utilization
