@@ -1,0 +1,139 @@
+"""Shard-scaling benchmark: per-op I/O time at 1/2/4/8 shards.
+
+Runs the paper's uniform synthetic update workload over a sharded PDL
+array at increasing shard counts and reports, per shard count:
+
+* **serial** per-op time — total device busy time, the single-chip
+  metric (roughly flat: sharding does not reduce work);
+* **parallel** per-op time — the busiest chip's busy time, i.e. elapsed
+  time with the chips serving concurrently (should fall ~linearly);
+* the implied parallel speedup and the number of shards whose GC did
+  work inside the window (reclamation spreads across the array).
+
+Runs standalone for CI smoke checks::
+
+    python benchmarks/bench_sharding.py --tiny
+
+or under pytest-benchmark like the other experiments::
+
+    REPRO_BENCH_SCALE=smoke python -m pytest benchmarks/bench_sharding.py -q
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.reporting import ResultTable  # noqa: E402
+from repro.workloads.runner import (  # noqa: E402
+    RunnerConfig,
+    ShardScalingPoint,
+    measure_sharded_updates,
+)
+
+SHARD_COUNTS = (1, 2, 4, 8)
+BASE_METHOD = "PDL (256B)"
+
+
+def run_shard_scaling(runner, shard_counts=SHARD_COUNTS, base=BASE_METHOD):
+    """Measure every shard count; returns (table, points by shard count)."""
+    table = ResultTable(
+        experiment="sharding_scaling",
+        title=f"Shard scaling: {base} on the uniform synthetic workload",
+        columns=(
+            "shards",
+            "serial_us_per_op",
+            "parallel_us_per_op",
+            "speedup",
+            "gc_us_per_op",
+            "erases",
+            "gc_shards",
+        ),
+    )
+    points = {}
+    for n in shard_counts:
+        # n == 1 uses the "x1" facade on purpose: its point doubles as the
+        # facade-overhead baseline (identical flash traffic to the bare
+        # driver, any difference would be facade cost).
+        point: ShardScalingPoint = measure_sharded_updates(f"{base} x{n}", runner)
+        points[n] = point
+        table.add_row(
+            n,
+            point.serial_us_per_op,
+            point.parallel_us_per_op,
+            point.parallel_speedup,
+            point.gc_us_per_op,
+            point.erases,
+            point.gc_parallelism,
+        )
+    one = points[shard_counts[0]]
+    best = points[shard_counts[-1]]
+    table.note(
+        f"parallel per-op time {one.parallel_us_per_op:.0f} -> "
+        f"{best.parallel_us_per_op:.0f} us from {shard_counts[0]} to "
+        f"{shard_counts[-1]} shards (speedup x{best.parallel_speedup:.2f})"
+    )
+    return table, points
+
+
+def check_scaling(points):
+    """The acceptance shape: more shards => lower parallel per-op time
+    and broader GC coverage, without inflating total device work."""
+    assert points[4].parallel_us_per_op < points[1].parallel_us_per_op, (
+        "4 shards must beat 1 shard on parallel per-op time"
+    )
+    assert points[4].parallel_speedup > 2.0, (
+        f"4-shard speedup x{points[4].parallel_speedup:.2f} is below x2"
+    )
+    # GC work spreads across the array once every shard sees churn.
+    assert points[4].gc_parallelism >= 2
+    # Sharding must not balloon total device work (allow 30% slack for
+    # per-shard buffer fragmentation).
+    assert points[4].serial_us_per_op < points[1].serial_us_per_op * 1.3
+
+
+def test_sharding_scaling(benchmark, scale):
+    runner = scale.sweep_runner()
+    table, points = benchmark.pedantic(
+        lambda: run_shard_scaling(runner), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(table.render())
+    table.save()
+    check_scaling(points)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="seconds-long smoke run (CI): 256-page database, short window",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=list(SHARD_COUNTS),
+        help="shard counts to sweep (default: 1 2 4 8)",
+    )
+    args = parser.parse_args(argv)
+    if args.tiny:
+        runner = RunnerConfig(database_pages=256, measure_ops=150)
+    else:
+        runner = RunnerConfig(database_pages=1024, measure_ops=400)
+    table, points = run_shard_scaling(runner, tuple(args.shards))
+    print(table.render())
+    print(f"saved: {table.save()}")
+    if set((1, 4)).issubset(points):
+        check_scaling(points)
+        print("scaling check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Sharded quickstart: PDL across four chips in five minutes.
+
+Builds a 4-chip array behind one driver, shows routing, the batched
+group flush, aggregated stats/wear, the parallel-time win, and finishes
+with a whole-array power loss + recovery.
+
+Run:  python examples/sharded_quickstart.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (  # noqa: E402
+    FlashChip,
+    FlashSpec,
+    SimulatedPowerLoss,
+    make_method,
+    recover_all,
+)
+from repro.storage.db import Database  # noqa: E402
+
+# --- four independent chips, one driver ------------------------------------
+spec = FlashSpec(n_blocks=32)  # paper geometry, scaled down
+chips = [FlashChip(spec) for _ in range(4)]
+array = make_method("PDL (256B) x4", chips)  # hash-routed by default
+PAGE = array.page_size
+
+print("== loading 64 pages across 4 chips ==")
+for pid in range(64):
+    array.load_page(pid, bytes([pid]) * PAGE)
+spread = [sum(1 for pid in range(64) if array.shard_index(pid) == i) for i in range(4)]
+print(f"router spread 64 pages as {spread} (hash partitioning)")
+
+# --- the storage engine is oblivious ---------------------------------------
+print("\n== an unmodified Database over the array ==")
+db = Database.resume(array, buffer_capacity=8, allocated_pages=64)
+page = db.page(7)
+page.write(100, b"0123456789")
+db.flush()  # buffer pool write-back + batched group flush of every shard
+print(f"db.flush() group-flushed all shards (group_flushes={array.group_flushes})")
+assert db.page(7).data[100:110] == b"0123456789"
+
+# --- updates hit shards independently; flushes are batched -----------------
+print("\n== 200 small updates, then one group flush ==")
+for i in range(200):
+    pid = i % 64
+    image = bytearray(array.read_page(pid))
+    image[0:8] = i.to_bytes(8, "little")
+    array.write_page(pid, bytes(image))
+array.group_flush()
+totals = array.stats.totals()
+clocks = array.chip_clocks()
+print(f"array totals: {totals.reads} reads, {totals.writes} writes")
+print(f"serial (sum of chips) {sum(clocks)/1000:.1f} ms vs "
+      f"parallel (busiest chip) {max(clocks)/1000:.1f} ms "
+      f"-> x{sum(clocks)/max(clocks):.2f} overlap")
+print(f"wear: {array.wear_report()}")
+
+# --- power loss across the whole array, then recovery ----------------------
+print("\n== power loss + sharded recovery (Figure 11 per chip) ==")
+durable = {pid: array.read_page(pid) for pid in range(64)}
+chips[2].crash_after(5)  # shard 2's device dies mid-traffic
+try:
+    for pid in range(64):
+        image = bytearray(array.read_page(pid))
+        image[0:4] = b"XXXX"
+        array.write_page(pid, bytes(image))
+except SimulatedPowerLoss:
+    print("power failure! every shard's tables and buffers are gone…")
+
+recovered, reports = recover_all(chips, max_differential_size=256)
+print("per-shard scans adopted "
+      + ", ".join(str(r.base_pages_adopted) for r in reports)
+      + " base pages")
+ok = sum(1 for pid in range(64) if len(recovered.read_page(pid)) == PAGE)
+print(f"all {ok} pages readable; durable prefix intact: "
+      f"{all(recovered.read_page(pid)[8:] == durable[pid][8:] for pid in range(64))}")
+print("done.")

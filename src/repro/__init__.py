@@ -10,6 +10,9 @@ NAND flash that stores each logical page as a base page plus at most one
   the baselines the paper compares against (OPU, IPU, IPL);
 * :mod:`repro.core` — PDL itself: the differential codec, write buffer,
   mapping/count tables, the PDL driver, and Figure 11's crash recovery;
+* :mod:`repro.sharding` — a sharded multi-chip driver: pluggable hash /
+  range routing, batched group flush, aggregated stats and wear, and
+  per-shard crash recovery (:func:`recover_all`);
 * :mod:`repro.storage` — a mini storage engine (buffer pool, slotted
   pages, heap files, B+tree) standing in for the Odysseus ORDBMS;
 * :mod:`repro.workloads` — the paper's synthetic update operations and a
@@ -52,6 +55,8 @@ from .flash import (
     SpareArea,
     spec_for_database,
 )
+from .flash.chip import CrashPoint
+from .flash.errors import SimulatedPowerLoss
 from .ftl import (
     ChangeRun,
     IplDriver,
@@ -62,7 +67,23 @@ from .ftl import (
     UnknownPageError,
     apply_runs,
 )
-from .methods import PAPER_METHODS, PAPER_METHODS_NO_IPU, make_method, method_labels
+from .ftl.errors import UnallocatedPageError
+from .methods import (
+    PAPER_METHODS,
+    PAPER_METHODS_NO_IPU,
+    make_method,
+    method_labels,
+    parse_sharded_label,
+    sharded_labels,
+)
+from .sharding import (
+    HashRouter,
+    RangeRouter,
+    ShardRouter,
+    ShardedDriver,
+    make_router,
+    recover_all,
+)
 
 __version__ = "1.0.0"
 
@@ -70,11 +91,13 @@ __all__ = [
     "BENCH_SPEC",
     "ChangeRun",
     "CrashError",
+    "CrashPoint",
     "Differential",
     "DifferentialWriteBuffer",
     "FlashChip",
     "FlashSpec",
     "FlashStats",
+    "HashRouter",
     "IplDriver",
     "IpuDriver",
     "OpuDriver",
@@ -85,17 +108,26 @@ __all__ = [
     "PageUpdateMethod",
     "PdlDriver",
     "PhysicalPageMappingTable",
+    "RangeRouter",
     "RecoveryReport",
     "SAMSUNG_K9L8G08U0M",
+    "ShardRouter",
+    "ShardedDriver",
+    "SimulatedPowerLoss",
     "SpareArea",
     "TINY_SPEC",
+    "UnallocatedPageError",
     "UnknownPageError",
     "ValidDifferentialCountTable",
     "apply_runs",
     "compute_runs",
     "make_method",
+    "make_router",
     "method_labels",
+    "parse_sharded_label",
+    "recover_all",
     "recover_driver",
+    "sharded_labels",
     "spec_for_database",
     "__version__",
 ]

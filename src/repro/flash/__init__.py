@@ -10,13 +10,14 @@ Public surface:
 """
 
 from .address import PageAddress, block_of, page_range_of_block, split_address
-from .chip import FlashChip
+from .chip import ERASE_OPS, MUTATING_OPS, PROGRAM_OPS, CrashPoint, FlashChip
 from .errors import (
     AddressError,
     CrashError,
     EraseError,
     FlashError,
     ProgramError,
+    SimulatedPowerLoss,
     SpareProgramError,
     WearOutError,
 )
@@ -37,22 +38,27 @@ __all__ = [
     "BENCH_SPEC",
     "BENCH_SPEC_8K",
     "CrashError",
+    "CrashPoint",
     "DEFAULT_PHASE",
+    "ERASE_OPS",
     "EraseError",
     "FlashChip",
     "FlashError",
     "FlashSpec",
     "FlashStats",
     "GC",
+    "MUTATING_OPS",
     "NO_PID",
     "NO_TS",
     "OpCounts",
+    "PROGRAM_OPS",
     "PageAddress",
     "PageType",
     "ProgramError",
     "READ_STEP",
     "SAMSUNG_K9L8G08U0M",
     "SPARE_HEADER_SIZE",
+    "SimulatedPowerLoss",
     "SpareArea",
     "SpareProgramError",
     "StatsSnapshot",

@@ -19,28 +19,72 @@ stats resets.  The paper's own numbers come from exactly this kind of
 emulator ("access time using the emulator must be identical to that using
 the real flash memory"), so simulated I/O time is the faithful metric.
 
-Crash injection: :meth:`FlashChip.crash_after` makes the chip raise
-:class:`CrashError` before the N-th subsequent *mutating* operation.  Page
-programming is atomic at the chip level (Section 4.5), so the chip state
-a recovery algorithm sees is always a prefix of completed operations.
+Crash injection: a :class:`CrashPoint` armed via
+:meth:`FlashChip.set_crash_point` makes the chip raise
+:class:`SimulatedPowerLoss` before the k-th subsequent *mutating*
+operation, optionally filtered to specific operation kinds (the k-th
+program, the k-th erase, …); :meth:`FlashChip.crash_after` is the
+unfiltered shorthand.  Page programming is atomic at the chip level
+(Section 4.5), so the chip state a recovery algorithm sees is always a
+prefix of completed operations.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from .address import page_range_of_block, split_address
 from .errors import (
     AddressError,
-    CrashError,
     EraseError,
     ProgramError,
+    SimulatedPowerLoss,
     SpareProgramError,
     WearOutError,
 )
 from .spare import SpareArea, erased_spare
 from .spec import FlashSpec
 from .stats import FlashStats
+
+#: Mutating operation kinds that re-program page contents.
+PROGRAM_OPS = ("program_page", "program_partial", "program_spare", "mark_obsolete")
+
+#: Mutating operation kinds that erase blocks.
+ERASE_OPS = ("erase_block",)
+
+#: Every mutating operation kind the crash machinery can observe.
+MUTATING_OPS = PROGRAM_OPS + ERASE_OPS
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """A power-loss trigger: fail before the (k+1)-th matching operation.
+
+    ``after`` counts matching mutating operations that are *allowed*
+    through before the crash fires (``after=0`` fails the very next
+    one).  ``ops`` restricts matching to specific operation kinds from
+    :data:`MUTATING_OPS`; ``None`` matches every mutating operation.
+    Crash-matrix harnesses enumerate these points to exercise every
+    inter-operation state a real power failure could expose.
+    """
+
+    after: int
+    ops: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.after < 0:
+            raise ValueError("after must be non-negative")
+        if self.ops is not None:
+            unknown = set(self.ops) - set(MUTATING_OPS)
+            if unknown:
+                raise ValueError(
+                    f"unknown mutating ops {sorted(unknown)}; "
+                    f"choose from {MUTATING_OPS}"
+                )
+
+    def matches(self, op: str) -> bool:
+        return self.ops is None or op in self.ops
 
 
 def _bits_compatible(old: bytes, new: bytes) -> bool:
@@ -75,32 +119,53 @@ class FlashChip:
         self._spare_programs: List[int] = [0] * spec.n_pages
         self._erase_counts: List[int] = [0] * spec.n_blocks
         self._clock_us: float = 0.0
-        self._crash_countdown: Optional[int] = None
+        self._crash_point: Optional[CrashPoint] = None
+        self._crash_remaining: int = 0
         self._on_op: Optional[Callable[[str], None]] = None
 
     # ------------------------------------------------------------------
     # Fault / observation hooks
     # ------------------------------------------------------------------
+    def set_crash_point(self, point: Optional[CrashPoint]) -> None:
+        """Arm a :class:`CrashPoint` (``None`` disarms).
+
+        The chip raises :class:`SimulatedPowerLoss` before the first
+        matching mutating operation once ``point.after`` matching
+        operations have been allowed through.  The point itself is not
+        mutated, so one :class:`CrashPoint` can arm many chips (or the
+        same chip across matrix iterations).
+        """
+        self._crash_point = point
+        self._crash_remaining = point.after if point is not None else 0
+
     def crash_after(self, mutating_ops: Optional[int]) -> None:
-        """Raise :class:`CrashError` before the N-th next mutating op.
+        """Raise :class:`SimulatedPowerLoss` before the N-th next mutating op.
 
         ``crash_after(0)`` makes the very next program/erase fail;
-        ``crash_after(None)`` disarms the hook.
+        ``crash_after(None)`` disarms the hook.  Shorthand for
+        :meth:`set_crash_point` with an unfiltered :class:`CrashPoint`.
         """
-        if mutating_ops is not None and mutating_ops < 0:
-            raise ValueError("mutating_ops must be >= 0 or None")
-        self._crash_countdown = mutating_ops
+        if mutating_ops is None:
+            self.set_crash_point(None)
+            return
+        self.set_crash_point(CrashPoint(after=mutating_ops))
 
     def on_operation(self, callback: Optional[Callable[[str], None]]) -> None:
-        """Install a per-operation observer (used by failure-injection tests)."""
+        """Install a per-operation observer (used by failure-injection tests).
+
+        The callback runs before the operation mutates chip state; an
+        exception raised from it aborts the operation, which is how
+        multi-chip harnesses inject a globally-ordered power loss.
+        """
         self._on_op = callback
 
     def _pre_mutate(self, op: str) -> None:
-        if self._crash_countdown is not None:
-            if self._crash_countdown <= 0:
-                self._crash_countdown = None
-                raise CrashError(f"simulated power failure before {op}")
-            self._crash_countdown -= 1
+        point = self._crash_point
+        if point is not None and point.matches(op):
+            if self._crash_remaining <= 0:
+                self._crash_point = None
+                raise SimulatedPowerLoss(f"simulated power failure before {op}")
+            self._crash_remaining -= 1
         if self._on_op is not None:
             self._on_op(op)
 

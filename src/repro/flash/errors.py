@@ -48,5 +48,14 @@ class CrashError(FlashError):
     """
 
 
+class SimulatedPowerLoss(CrashError):
+    """A :class:`~repro.flash.chip.CrashPoint` fired.
+
+    Subclasses :class:`CrashError` so existing crash-handling code is
+    oblivious to whether the failure came from the legacy countdown hook
+    or from an op-filtered crash point.
+    """
+
+
 class SpareProgramError(ProgramError):
     """The spare area of a page was programmed more times than allowed."""

@@ -9,7 +9,13 @@
 
 from .allocator import BlockManager
 from .base import ChangeRun, PageUpdateMethod, apply_runs
-from .errors import ConfigurationError, FtlError, OutOfSpaceError, UnknownPageError
+from .errors import (
+    ConfigurationError,
+    FtlError,
+    OutOfSpaceError,
+    UnallocatedPageError,
+    UnknownPageError,
+)
 from .gc import GarbageCollector, RelocationHandler, VictimPolicy, greedy_policy
 from .ipl import IplDriver, decode_slot, encode_slot
 from .ipu import IpuDriver
@@ -27,6 +33,7 @@ __all__ = [
     "OutOfSpaceError",
     "PageUpdateMethod",
     "RelocationHandler",
+    "UnallocatedPageError",
     "UnknownPageError",
     "VictimPolicy",
     "apply_runs",

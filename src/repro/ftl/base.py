@@ -126,6 +126,12 @@ class PageUpdateMethod(ABC):
         paper assumes for ease of exposition."""
         return self.chip.spec.page_data_size
 
+    @property
+    def total_blocks(self) -> int:
+        """Erase blocks behind this driver; multi-chip drivers override
+        this with the whole array's count."""
+        return self.spec.n_blocks
+
     def _check_page(self, pid: int, data: bytes) -> None:
         if pid < 0:
             raise ValueError(f"logical page id {pid} must be non-negative")

@@ -22,5 +22,15 @@ class UnknownPageError(FtlError):
     """A logical page id was read before ever being loaded or written."""
 
 
+class UnallocatedPageError(UnknownPageError):
+    """A logical page id outside the allocated id space was requested.
+
+    Raised by the storage layer (:meth:`repro.storage.db.Database.page`)
+    and by sharded routing checks, so "the caller asked for a page that
+    does not exist" is distinguishable from driver-internal mapping
+    corruption (plain :class:`UnknownPageError`) and from arbitrary
+    caller bugs (:class:`ValueError`)."""
+
+
 class ConfigurationError(FtlError):
     """A driver was configured inconsistently with the chip geometry."""

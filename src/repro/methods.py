@@ -9,19 +9,34 @@ against names::
 
 Labels are case-insensitive and whitespace-tolerant; sizes accept ``B``
 and ``KB`` suffixes.
+
+Sharded configurations append an ``xN`` shard count and take a sequence
+of N chips instead of one::
+
+    chips = [FlashChip(spec) for _ in range(4)]
+    make_method("PDL (256B) x4", chips)          # hash-routed by default
+    make_method("OPU x2", chips[:2], router=RangeRouter(2, 1024))
+
+Each chip gets its own per-shard driver (any base method works); the
+result is a :class:`~repro.sharding.driver.ShardedDriver`.  ``x1`` is
+accepted and still builds the sharded façade, which benchmarks use to
+measure the façade's (zero-flash-cost) overhead against the bare driver.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional, Sequence, Tuple, Union
 
 from .core.pdl import PdlDriver
 from .flash.chip import FlashChip
 from .ftl.base import PageUpdateMethod
+from .ftl.errors import ConfigurationError
 from .ftl.ipl import IplDriver
 from .ftl.ipu import IpuDriver
 from .ftl.opu import OpuDriver
+from .sharding.driver import ShardedDriver
+from .sharding.router import ShardRouter
 
 #: The six configurations of the paper's evaluation (Figure 12's legend).
 PAPER_METHODS = (
@@ -41,6 +56,8 @@ _LABEL_RE = re.compile(
     re.IGNORECASE,
 )
 
+_SHARDED_RE = re.compile(r"^(?P<base>.*\S)\s*[xX]\s*(?P<n>\d+)\s*$")
+
 
 def parse_size(size: str, unit: Optional[str]) -> int:
     value = int(size)
@@ -49,12 +66,19 @@ def parse_size(size: str, unit: Optional[str]) -> int:
     return value
 
 
-def make_method(label: str, chip: FlashChip, **kwargs) -> PageUpdateMethod:
-    """Construct the driver named by a paper-style label.
+def parse_sharded_label(label: str) -> Tuple[str, Optional[int]]:
+    """Split ``"PDL (256B) x4"`` into ``("PDL (256B)", 4)``.
 
-    ``kwargs`` are forwarded to the driver constructor (e.g.
-    ``victim_policy`` for the GC ablations).
+    Returns ``(label, None)`` for unsharded labels; an explicit ``x1``
+    still counts as sharded (one-shard array).
     """
+    match = _SHARDED_RE.match(label.strip())
+    if match is None:
+        return label, None
+    return match.group("base"), int(match.group("n"))
+
+
+def _make_single(label: str, chip: FlashChip, **kwargs) -> PageUpdateMethod:
     plain = label.strip().upper()
     if plain == "OPU":
         return OpuDriver(chip, **kwargs)
@@ -64,7 +88,7 @@ def make_method(label: str, chip: FlashChip, **kwargs) -> PageUpdateMethod:
     if match is None:
         raise ValueError(
             f"unknown method label {label!r}; expected OPU, IPU, "
-            "PDL(<size>) or IPL(<size>)"
+            "PDL(<size>) or IPL(<size>), optionally suffixed ' xN'"
         )
     size = parse_size(match.group("size"), match.group("unit"))
     kind = match.group("kind").upper()
@@ -73,6 +97,55 @@ def make_method(label: str, chip: FlashChip, **kwargs) -> PageUpdateMethod:
     return IplDriver(chip, log_region_bytes=size, **kwargs)
 
 
+def make_method(
+    label: str,
+    chip: Union[FlashChip, Sequence[FlashChip]],
+    *,
+    router: Optional[ShardRouter] = None,
+    **kwargs,
+) -> PageUpdateMethod:
+    """Construct the driver named by a paper-style label.
+
+    ``kwargs`` are forwarded to the (per-shard) driver constructor (e.g.
+    ``victim_policy`` for the GC ablations).  Sharded labels (``xN``)
+    require ``chip`` to be a sequence of exactly N chips; ``router``
+    overrides the default :class:`HashRouter` partition.
+    """
+    base_label, n_shards = parse_sharded_label(label)
+    if n_shards is not None:
+        if isinstance(chip, FlashChip):
+            raise ConfigurationError(
+                f"sharded label {label!r} needs a sequence of {n_shards} "
+                "chips, got a single FlashChip"
+            )
+        chips = list(chip)
+        if len(chips) != n_shards:
+            raise ConfigurationError(
+                f"sharded label {label!r} needs {n_shards} chips, "
+                f"got {len(chips)}"
+            )
+        shards = [_make_single(base_label, shard_chip, **kwargs) for shard_chip in chips]
+        return ShardedDriver(shards, router=router)
+    if router is not None:
+        raise ConfigurationError(
+            f"label {label!r} is unsharded; a router only applies to 'xN' labels"
+        )
+    if not isinstance(chip, FlashChip):
+        chips = list(chip)
+        if len(chips) != 1:
+            raise ConfigurationError(
+                f"unsharded label {label!r} takes one chip, got {len(chips)}; "
+                f"did you mean '{label} x{len(chips)}'?"
+            )
+        chip = chips[0]
+    return _make_single(base_label, chip, **kwargs)
+
+
 def method_labels(include_ipu: bool = True) -> List[str]:
     """The standard comparison set, in the paper's plotting order."""
     return list(PAPER_METHODS if include_ipu else PAPER_METHODS_NO_IPU)
+
+
+def sharded_labels(base: str, shard_counts: Sequence[int]) -> List[str]:
+    """Labels for a shard-scaling sweep, e.g. ``["PDL (256B) x1", ...]``."""
+    return [f"{base} x{n}" for n in shard_counts]

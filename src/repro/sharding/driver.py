@@ -1,0 +1,180 @@
+"""The sharded multi-chip driver: N page-update methods behind one façade.
+
+:class:`ShardedDriver` implements the :class:`PageUpdateMethod` contract
+over a fleet of per-shard drivers, each owning its own chip, allocator,
+GC engine and (for PDL) differential write buffer.  A
+:class:`~repro.sharding.router.ShardRouter` decides which shard owns
+each logical page; shard drivers index their tables by the *global* pid,
+so no id translation happens anywhere — the router is the only routing
+state, which is what keeps recovery trivial (rebuild each shard, reuse
+the router).
+
+Because every shard is an independent device with its own free-space
+pool, sharding multiplies the paper's mechanisms for free:
+
+* **GC parallelism** — each shard reclaims its own blocks; a GC storm on
+  one shard never stalls traffic routed to the others;
+* **recovery parallelism** — the Figure-11 scan is per-chip, so an
+  N-shard array recovers in the wall-clock time of one shard's scan;
+* **group flush** — the Section-4.5 write-through generalizes to
+  :meth:`group_flush`, which drains every shard's differential write
+  buffer in one batched call, the natural commit point for a DBMS
+  checkpoint running above the array.
+
+The driver is method-agnostic: any mix of PDL/OPU/IPU/IPL shards built
+by :func:`repro.methods.make_method` works, although homogeneous fleets
+(the ``"PDL (256B) x4"`` labels) are the measured configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..flash.chip import FlashChip
+from ..flash.spec import FlashSpec
+from ..ftl.base import ChangeRun, PageUpdateMethod
+from ..ftl.errors import ConfigurationError
+from .router import HashRouter, ShardRouter
+from .stats import AggregateStats
+
+
+class ShardedDriver(PageUpdateMethod):
+    """A :class:`PageUpdateMethod` routing pages across shard drivers."""
+
+    def __init__(
+        self,
+        shards: Sequence[PageUpdateMethod],
+        router: Optional[ShardRouter] = None,
+    ):
+        # No super().__init__: there is no single chip; spec/stats/page_size
+        # are overridden below instead.
+        if not shards:
+            raise ConfigurationError("ShardedDriver needs at least one shard")
+        self.shards: List[PageUpdateMethod] = list(shards)
+        self.router = router if router is not None else HashRouter(len(self.shards))
+        if self.router.n_shards != len(self.shards):
+            raise ConfigurationError(
+                f"router partitions {self.router.n_shards} shards but "
+                f"{len(self.shards)} shard drivers were supplied"
+            )
+        sizes = {shard.page_size for shard in self.shards}
+        if len(sizes) != 1:
+            raise ConfigurationError(
+                f"shards disagree on logical page size: {sorted(sizes)}"
+            )
+        self.name = f"{self.shards[0].name} x{len(self.shards)}"
+        self.tightly_coupled = any(s.tightly_coupled for s in self.shards)
+        self._stats = AggregateStats([s.stats for s in self.shards])
+        self.group_flushes = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_index(self, pid: int) -> int:
+        """The shard index owning ``pid`` (validated against the fleet)."""
+        index = self.router.shard_of(pid)
+        if not 0 <= index < len(self.shards):
+            raise ConfigurationError(
+                f"router sent pid {pid} to shard {index} of {len(self.shards)}"
+            )
+        return index
+
+    def shard_for(self, pid: int) -> PageUpdateMethod:
+        return self.shards[self.shard_index(pid)]
+
+    # ------------------------------------------------------------------
+    # PageUpdateMethod contract
+    # ------------------------------------------------------------------
+    def load_page(self, pid: int, data: bytes) -> None:
+        self.shard_for(pid).load_page(pid, data)
+
+    def end_of_load(self) -> None:
+        for shard in self.shards:
+            shard.end_of_load()
+
+    def read_page(self, pid: int) -> bytes:
+        return self.shard_for(pid).read_page(pid)
+
+    def write_page(
+        self, pid: int, data: bytes, update_logs: Optional[List[ChangeRun]] = None
+    ) -> None:
+        self.shard_for(pid).write_page(pid, data, update_logs=update_logs)
+
+    def flush(self) -> None:
+        """Write-through over the whole array (see :meth:`group_flush`)."""
+        self.group_flush()
+
+    def group_flush(self) -> None:
+        """Batched flush: drain every shard's buffers in one call.
+
+        All shards flush before control returns, so a caller observing
+        the return has a single durability horizon across the array —
+        the sharded generalization of Section 4.5's write-through.  The
+        flushes are independent per-chip programs and overlap on real
+        hardware; simulated parallel time is the slowest shard's share.
+        """
+        for shard in self.shards:
+            shard.flush()
+        self.group_flushes += 1
+
+    # ------------------------------------------------------------------
+    # Aggregated introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def chips(self) -> List[FlashChip]:
+        return [shard.chip for shard in self.shards]
+
+    @property
+    def spec(self) -> FlashSpec:
+        """The per-shard chip spec (shards share one geometry in practice)."""
+        return self.shards[0].spec
+
+    @property
+    def stats(self) -> AggregateStats:  # type: ignore[override]
+        return self._stats
+
+    @property
+    def page_size(self) -> int:
+        return self.shards[0].page_size
+
+    @property
+    def total_blocks(self) -> int:
+        """Erase blocks across the whole array (capacity planning, GC
+        steady-state targets)."""
+        return sum(shard.spec.n_blocks for shard in self.shards)
+
+    def chip_clocks(self) -> List[float]:
+        """Each shard chip's monotonic clock; ``max`` of window deltas is
+        the array's parallel elapsed time."""
+        return [chip.clock_us for chip in self.chips]
+
+    def wear_report(self) -> Dict[str, object]:
+        """Aggregated wear: per-shard erase totals and worst block."""
+        per_shard = [shard.stats.total_erases for shard in self.shards]
+        worst = max(
+            (max(shard.stats.block_erases, default=0) for shard in self.shards),
+            default=0,
+        )
+        return {
+            "per_shard_erases": per_shard,
+            "total_erases": sum(per_shard),
+            "max_block_erases": worst,
+        }
+
+    def differential_page_count(self) -> int:
+        """Referenced differential pages, summed over PDL shards."""
+        return sum(
+            shard.differential_page_count()
+            for shard in self.shards
+            if hasattr(shard, "differential_page_count")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ShardedDriver {self.name!r} router={type(self.router).__name__} "
+            f"shards={len(self.shards)}>"
+        )

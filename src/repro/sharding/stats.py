@@ -1,0 +1,119 @@
+"""Aggregated accounting across the chips of a sharded deployment.
+
+:class:`AggregateStats` presents N per-chip :class:`FlashStats` as one —
+the same read surface (``totals``, ``of_phase``, ``snapshot`` /
+``delta_since``, ``reset``) the single-chip experiment code already
+uses, so the workload runner and benchmarks measure a
+:class:`~repro.sharding.driver.ShardedDriver` without special-casing.
+
+Two time metrics matter for a multi-chip array:
+
+* **serial time** — the sum of all chips' busy time: total device work,
+  what a single chip would have taken.  This is what the merged phase
+  counters report, consistent with :class:`FlashStats`.
+* **parallel time** — the busy time of the *busiest* chip: elapsed
+  wall-clock with the chips serving their queues concurrently, the
+  paper's simulated-I/O-time metric generalized to an array.  Exposed
+  via :meth:`chip_clocks` (per-chip monotonic clocks); the scaling
+  benchmark reports ``max(clock deltas)`` as the parallel cost.
+
+``block_erases`` concatenates the shards' per-block wear counters in
+shard order, so wear reports and Figure-16-style histograms extend to
+arrays unchanged.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack, contextmanager
+from typing import Dict, Iterator, List, Sequence
+
+from ..flash.stats import FlashStats, OpCounts, StatsSnapshot
+
+
+class AggregateStats:
+    """A read-mostly merged view over per-shard :class:`FlashStats`."""
+
+    def __init__(self, shard_stats: Sequence[FlashStats]):
+        if not shard_stats:
+            raise ValueError("AggregateStats needs at least one shard")
+        self._shards = list(shard_stats)
+
+    # ------------------------------------------------------------------
+    # Phase management (pushed onto every shard, for cross-shard work
+    # such as the initial bulk load or a group flush)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        with ExitStack() as stack:
+            for stats in self._shards:
+                stack.enter_context(stats.phase(name))
+            yield
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    @property
+    def phases(self) -> Dict[str, OpCounts]:
+        """Per-phase counters summed over all shards."""
+        merged: Dict[str, OpCounts] = {}
+        for stats in self._shards:
+            for name, counts in stats.phases.items():
+                merged[name] = merged.get(name, OpCounts()).add(counts)
+        return merged
+
+    @property
+    def block_erases(self) -> List[int]:
+        """Per-block erase counts, shards concatenated in order."""
+        flat: List[int] = []
+        for stats in self._shards:
+            flat.extend(stats.block_erases)
+        return flat
+
+    def totals(self) -> OpCounts:
+        total = OpCounts()
+        for stats in self._shards:
+            total = total.add(stats.totals())
+        return total
+
+    def of_phase(self, name: str) -> OpCounts:
+        total = OpCounts()
+        for stats in self._shards:
+            total = total.add(stats.of_phase(name))
+        return total
+
+    @property
+    def total_time_us(self) -> float:
+        return self.totals().time_us
+
+    @property
+    def total_erases(self) -> int:
+        return self.totals().erases
+
+    def per_shard(self) -> List[FlashStats]:
+        """The underlying per-shard collectors (read-only use)."""
+        return list(self._shards)
+
+    # ------------------------------------------------------------------
+    # Snapshots (the steady-state measurement window protocol)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> StatsSnapshot:
+        return StatsSnapshot(
+            phases={name: counts.copy() for name, counts in self.phases.items()},
+            block_erases=self.block_erases,
+        )
+
+    def delta_since(self, snap: StatsSnapshot) -> StatsSnapshot:
+        phases: Dict[str, OpCounts] = {}
+        for name, counts in self.phases.items():
+            before = snap.phases.get(name, OpCounts())
+            diff = counts.sub(before)
+            if diff.total_ops or diff.time_us:
+                phases[name] = diff
+        erases = [
+            now - then for now, then in zip(self.block_erases, snap.block_erases)
+        ]
+        return StatsSnapshot(phases=phases, block_erases=erases)
+
+    def reset(self) -> None:
+        for stats in self._shards:
+            stats.reset()

@@ -5,6 +5,12 @@ that neither knows nor cares which page-update method sits below it.
 Heap files and B+trees allocate logical pages here; all page traffic
 flows through the LRU buffer pool, whose dirty evictions and misses are
 the flash I/O the paper measures in Experiment 7.
+
+The driver may just as well be a
+:class:`~repro.sharding.driver.ShardedDriver` spanning many chips — the
+engine is oblivious (``Database.flush`` then performs a batched group
+flush across every shard), which is the paper's DBMS-independence
+argument extended to device-count independence.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..ftl.base import PageUpdateMethod
+from ..ftl.errors import UnallocatedPageError
 from .buffer import BufferManager, BufferStats
 from .page import Page
 
@@ -25,6 +32,22 @@ class Database:
         self.page_size = driver.page_size
         self._next_pid = 0
 
+    @classmethod
+    def resume(
+        cls, driver: PageUpdateMethod, buffer_capacity: int, allocated_pages: int
+    ) -> "Database":
+        """Re-attach to an existing (e.g. just-recovered) driver.
+
+        ``allocated_pages`` restores the logical page allocation horizon
+        the engine had reached before the crash; pages above it were
+        never handed out and stay unreachable.
+        """
+        if allocated_pages < 0:
+            raise ValueError("allocated_pages must be non-negative")
+        db = cls(driver, buffer_capacity)
+        db._next_pid = allocated_pages
+        return db
+
     # ------------------------------------------------------------------
     # Page management
     # ------------------------------------------------------------------
@@ -35,9 +58,17 @@ class Database:
         return self.pool.create_page(pid, bytes(self.page_size))
 
     def page(self, pid: int) -> Page:
-        """Fetch a page through the buffer pool."""
+        """Fetch a page through the buffer pool.
+
+        Raises :class:`UnallocatedPageError` (not a bare ``ValueError``)
+        for ids outside the allocated space, so callers can tell a
+        missing page apart from routing or mapping corruption below.
+        """
         if not 0 <= pid < self._next_pid:
-            raise ValueError(f"logical page {pid} was never allocated")
+            raise UnallocatedPageError(
+                f"logical page {pid} was never allocated "
+                f"(allocation horizon is {self._next_pid})"
+            )
         return self.pool.get_page(pid)
 
     @property

@@ -6,6 +6,12 @@ repeatedly; we warm by overwriting a multiple of the database), then
 measures a window of operations and reports per-operation simulated I/O
 time split the way Figure 12 splits it: read step, write step, and the
 GC share amortized into writes.
+
+Sharded labels (``"PDL (256B) x4"``) build one chip per shard, each
+sized so its slice of the database keeps the paper's utilization ratio;
+:func:`measure_sharded_updates` additionally reports *parallel* time
+(the busiest chip's share of the window) next to the serial total, the
+metric the shard-scaling benchmark plots.
 """
 
 from __future__ import annotations
@@ -19,7 +25,8 @@ from ..flash.chip import FlashChip
 from ..flash.spec import FlashSpec, spec_for_database
 from ..flash.stats import GC, READ_STEP, WRITE_STEP
 from ..ftl.base import PageUpdateMethod
-from ..methods import make_method
+from ..methods import make_method, parse_sharded_label
+from ..sharding.driver import ShardedDriver
 from .synthetic import SyntheticConfig, SyntheticWorkload
 
 
@@ -75,21 +82,33 @@ class RunnerConfig:
     verify: bool = True
     base_spec: Optional[FlashSpec] = None
 
-    def spec(self) -> FlashSpec:
+    def _base_spec(self) -> FlashSpec:
         if self.base_spec is not None:
-            base = self.base_spec
-        else:
-            from ..flash.spec import SAMSUNG_K9L8G08U0M
+            return self.base_spec
+        from ..flash.spec import SAMSUNG_K9L8G08U0M
 
-            base = SAMSUNG_K9L8G08U0M
-        return spec_for_database(self.database_pages, self.utilization, base)
+        return SAMSUNG_K9L8G08U0M
 
-    def warmup_ops_for(self, label: str) -> int:
-        """IPU reaches steady state immediately (no GC, no log regions);
-        everyone else needs the free space churned."""
-        if label.strip().upper() == "IPU":
-            return min(64, int(self.database_pages * 0.02) + 8)
-        return int(self.database_pages * self.warmup_multiplier)
+    def spec(self) -> FlashSpec:
+        return spec_for_database(self.database_pages, self.utilization, self._base_spec())
+
+    def shard_spec(self, n_shards: int) -> FlashSpec:
+        """Per-shard chip spec: each shard holds ~1/N of the database at
+        the same utilization ratio, so GC pressure per shard matches the
+        single-chip setup."""
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        pages = -(-self.database_pages // n_shards)  # ceil division
+        spec = spec_for_database(pages, self.utilization, self._base_spec())
+        # Tiny shards need allocation headroom beyond the utilization
+        # fit: an active block, the 2-block GC reserve, and at least one
+        # reclaimable victim — otherwise a shard can wedge with all its
+        # data in the active block and nothing to collect.
+        min_blocks = -(-pages // spec.pages_per_block) + 4
+        if spec.n_blocks < min_blocks:
+            spec = spec.scaled(min_blocks)
+        return spec
+
 
 
 def aging_horizon(driver: PageUpdateMethod, change_size: int) -> int:
@@ -103,6 +122,9 @@ def aging_horizon(driver: PageUpdateMethod, change_size: int) -> int:
     ``coverage × page = effective_max``.  Other methods carry no
     accumulated per-page flash state, so their horizon is 1.
     """
+    if isinstance(driver, ShardedDriver):
+        # Shards age independently but identically; use a representative.
+        driver = driver.shards[0]
     if not isinstance(driver, PdlDriver):
         return 1
     page = driver.page_size
@@ -141,9 +163,11 @@ def warm_to_steady_state(workload: SyntheticWorkload, runner: RunnerConfig) -> i
     for pid in pids:
         workload.update_cycle(pid, n_updates=rng.randint(1, k_max))
         ops += 1
-    if driver.name.strip().upper() == "IPU":
+    base_name, _ = parse_sharded_label(driver.name)
+    if base_name.strip().upper() == "IPU":
         return ops  # in-place update has no free-space state to churn
-    target_erases = driver.spec.n_blocks
+    # total_blocks covers the whole array for sharded drivers.
+    target_erases = driver.total_blocks
     max_ops = 16 * workload.config.database_pages
     chunk = max(64, workload.config.database_pages // 4)
     while driver.stats.total_erases < target_erases and ops < max_ops:
@@ -162,9 +186,16 @@ def build_workload(
     """Chip + driver + loaded synthetic database for one method.
 
     ``method_kwargs`` are forwarded to the driver constructor (ablations:
-    ``diff_unit``, ``victim_policy``, …).
+    ``diff_unit``, ``victim_policy``, …).  Sharded labels build one chip
+    per shard via :meth:`RunnerConfig.shard_spec`; a ``router`` entry in
+    ``method_kwargs`` overrides the default hash partition.
     """
-    chip = FlashChip(runner.spec())
+    _base, n_shards = parse_sharded_label(label)
+    if n_shards is None:
+        chip = FlashChip(runner.spec())
+    else:
+        shard_spec = runner.shard_spec(n_shards)
+        chip = [FlashChip(shard_spec) for _ in range(n_shards)]
     driver = make_method(label, chip, **(method_kwargs or {}))
     config = SyntheticConfig(
         database_pages=runner.database_pages,
@@ -220,6 +251,104 @@ def measure_mix(
     workload.run_mix(runner.measure_ops, pct_update)
     delta = stats.delta_since(snap)
     return _measurement(label, runner.measure_ops, delta)
+
+
+@dataclass
+class ShardScalingPoint:
+    """One point of the shard-scaling sweep (``bench_sharding``).
+
+    ``serial_us_per_op`` is total device busy time per operation (the
+    single-chip metric, invariant-ish in the shard count);
+    ``parallel_us_per_op`` is the busiest chip's busy time per operation
+    — elapsed time with the chips operating concurrently, the number
+    that should shrink ~linearly as shards are added.
+    """
+
+    label: str
+    n_shards: int
+    n_ops: int
+    serial_us_per_op: float
+    parallel_us_per_op: float
+    gc_us_per_op: float
+    erases: int
+    per_shard_erases: List[int] = field(default_factory=list)
+    #: Erase totals since chip creation (includes warm-up): short
+    #: measurement windows may see no GC at all, but reclamation history
+    #: still shows how many shards collect independently.
+    lifetime_shard_erases: List[int] = field(default_factory=list)
+    group_flushes: int = 0
+
+    @property
+    def parallel_speedup(self) -> float:
+        """How much of the fleet the workload keeps busy (≤ n_shards)."""
+        if self.parallel_us_per_op == 0.0:
+            return 1.0
+        return self.serial_us_per_op / self.parallel_us_per_op
+
+    @property
+    def gc_parallelism(self) -> int:
+        """Shards whose GC has done work so far (reclamation spread)."""
+        return sum(1 for erases in self.lifetime_shard_erases if erases > 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "n_shards": self.n_shards,
+            "n_ops": self.n_ops,
+            "serial_us_per_op": self.serial_us_per_op,
+            "parallel_us_per_op": self.parallel_us_per_op,
+            "parallel_speedup": self.parallel_speedup,
+            "gc_us_per_op": self.gc_us_per_op,
+            "erases": self.erases,
+            "gc_parallelism": self.gc_parallelism,
+        }
+
+
+def measure_sharded_updates(
+    label: str,
+    runner: RunnerConfig,
+    pct_changed: float = 2.0,
+    n_updates_till_write: int = 1,
+    method_kwargs: Optional[Dict] = None,
+) -> ShardScalingPoint:
+    """Steady-state update cost with per-chip parallel-time accounting.
+
+    Works for sharded *and* plain labels (a plain label reports equal
+    serial and parallel time), so a sweep can include the bare
+    single-chip driver as its baseline.
+    """
+    workload = build_workload(
+        label, runner, pct_changed, n_updates_till_write, method_kwargs
+    )
+    driver = workload.driver
+    warm_to_steady_state(workload, runner)
+    chips = driver.chips if isinstance(driver, ShardedDriver) else [driver.chip]
+    stats = driver.stats
+    clocks_before = [chip.clock_us for chip in chips]
+    erases_before = [chip.stats.total_erases for chip in chips]
+    snap = stats.snapshot()
+    workload.run_updates(runner.measure_ops)
+    delta = stats.delta_since(snap)
+    clock_deltas = [
+        chip.clock_us - before for chip, before in zip(chips, clocks_before)
+    ]
+    per_shard_erases = [
+        chip.stats.total_erases - before
+        for chip, before in zip(chips, erases_before)
+    ]
+    n_ops = runner.measure_ops
+    return ShardScalingPoint(
+        label=label,
+        n_shards=len(chips),
+        n_ops=n_ops,
+        serial_us_per_op=sum(clock_deltas) / n_ops,
+        parallel_us_per_op=max(clock_deltas) / n_ops,
+        gc_us_per_op=delta.of_phase(GC).time_us / n_ops,
+        erases=delta.total_erases,
+        per_shard_erases=per_shard_erases,
+        lifetime_shard_erases=[chip.stats.total_erases for chip in chips],
+        group_flushes=getattr(driver, "group_flushes", 0),
+    )
 
 
 def _measurement(label: str, n_ops: int, delta) -> MethodMeasurement:

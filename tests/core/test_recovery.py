@@ -8,6 +8,7 @@ from repro.core.pdl import PdlDriver
 from repro.core.recovery import RECOVERY_PHASE, recover_driver
 from repro.flash.chip import FlashChip
 from repro.flash.errors import CrashError
+from repro.flash.spare import PageType
 
 
 def _page(driver, fill=0x11):
@@ -140,6 +141,91 @@ class TestCrashWindows:
         recovered, report = recover_driver(chip, max_differential_size=64)
         assert 0 in report.orphan_pids
         assert recovered.ppmt.get(0) is None
+
+
+class TestRecoveryEdgeCases:
+    def test_empty_chip_recovers_to_empty_driver(self, tiny_spec):
+        """Recovering a factory-fresh chip yields an empty but fully
+        operational driver — the scan finds nothing, adopts nothing,
+        writes nothing."""
+        chip = FlashChip(tiny_spec)
+        recovered, report = recover_driver(chip, max_differential_size=64)
+        assert report.pages_scanned == tiny_spec.n_pages
+        assert report.base_pages_adopted == 0
+        assert report.differentials_adopted == 0
+        assert report.stale_pages_obsoleted == 0
+        assert report.orphan_pids == []
+        assert len(list(recovered.ppmt.items())) == 0
+        # the scan must not have programmed or erased anything
+        assert chip.stats.totals().writes == 0
+        assert chip.stats.total_erases == 0
+        # and the driver is usable from scratch
+        recovered.load_page(0, _page(recovered, 0x42))
+        assert recovered.read_page(0) == _page(recovered, 0x42)
+
+    def test_buffer_only_differential_lost_older_flush_survives(self, tiny_spec):
+        """Section 4.4 semantics: a differential still in the RAM write
+        buffer at crash time vanishes, but an OLDER flushed differential
+        for the same page must still be adopted — the page rolls back to
+        its last durable version, not to its base."""
+        chip, pdl = _fresh(tiny_spec)
+        base = _page(pdl)
+        pdl.load_page(0, base)
+        v1 = _patched(base, 0, b"\x01")
+        pdl.write_page(0, v1)
+        pdl.flush()  # v1's differential is durable
+        v2 = _patched(v1, 0, b"\x02")
+        pdl.write_page(0, v2)  # v2's differential is buffer-only
+        assert pdl.buffer.get(0) is not None
+        recovered, report = recover_driver(chip, max_differential_size=64)
+        assert recovered.read_page(0) == v1
+        assert report.differentials_adopted == 1
+
+    def test_duplicate_gc_base_copies_with_equal_timestamps(self, tiny_spec):
+        """A crash between GC's copy-out and the victim erase leaves two
+        byte-identical base pages with EQUAL timestamps.  Recovery may
+        keep either (they are identical); the other must end obsolete."""
+        chip, pdl = _fresh(tiny_spec)
+        image = _page(pdl, 0x5A)
+        pdl.load_page(0, image)
+        entry = pdl.ppmt.require(0)
+        original = entry.base_addr
+        # Simulate the GC relocation: identical data + spare (timestamp
+        # preserved) programmed at a far-away erased address.
+        copy_addr = (tiny_spec.n_blocks - 1) * tiny_spec.pages_per_block
+        chip.program_page(copy_addr, chip.peek_data(original), chip.peek_spare(original))
+        assert chip.peek_spare(copy_addr).timestamp == chip.peek_spare(original).timestamp
+        recovered, report = recover_driver(chip, max_differential_size=64)
+        assert recovered.read_page(0) == image
+        kept = recovered.ppmt.require(0).base_addr
+        assert kept in (original, copy_addr)
+        stale = copy_addr if kept == original else original
+        assert chip.peek_spare(stale).obsolete
+        assert not chip.peek_spare(kept).obsolete
+        assert report.stale_pages_obsoleted >= 1
+
+    def test_duplicate_gc_differential_copies_with_equal_timestamps(self, tiny_spec):
+        """Same crash window for a differential page: GC compaction wrote
+        the copy, the victim survived.  Recovery adopts exactly one copy
+        per pid and obsoletes the page left with zero adopted entries."""
+        chip, pdl = _fresh(tiny_spec)
+        base = _page(pdl)
+        pdl.load_page(0, base)
+        v1 = _patched(base, 0, b"\x07")
+        pdl.write_page(0, v1)
+        pdl.flush()
+        diff_addr = pdl.ppmt.require(0).diff_addr
+        assert diff_addr is not None
+        assert chip.peek_spare(diff_addr).type is PageType.DIFFERENTIAL
+        copy_addr = (tiny_spec.n_blocks - 1) * tiny_spec.pages_per_block
+        chip.program_page(copy_addr, chip.peek_data(diff_addr), chip.peek_spare(diff_addr))
+        recovered, _ = recover_driver(chip, max_differential_size=64)
+        assert recovered.read_page(0) == v1
+        kept = recovered.ppmt.require(0).diff_addr
+        assert kept in (diff_addr, copy_addr)
+        assert recovered.vdct.count(kept) == 1
+        stale = copy_addr if kept == diff_addr else diff_addr
+        assert chip.peek_spare(stale).obsolete
 
 
 class TestRandomizedCrashRecovery:

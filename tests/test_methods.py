@@ -54,6 +54,46 @@ class TestLabelParsing:
         assert driver.diff_unit is None
 
 
+class TestShardedLabels:
+    """The ``xN`` suffix builds a ShardedDriver over N chips."""
+
+    def _chips(self, n):
+        from repro.flash.spec import TINY_SPEC
+
+        return [FlashChip(TINY_SPEC) for _ in range(n)]
+
+    def test_sharded_pdl(self):
+        from repro.sharding.driver import ShardedDriver
+
+        driver = make_method("PDL (64B) x2", self._chips(2))
+        assert isinstance(driver, ShardedDriver)
+        assert driver.name == "PDL (64B) x2"
+        assert all(s.max_differential_size == 64 for s in driver.shards)
+
+    def test_sharded_labels_roundtrip_to_names(self):
+        for base in ("PDL (256B)", "OPU", "IPU", "IPL (512B)"):
+            driver = make_method(f"{base} x2", self._chips(2))
+            assert driver.name == f"{base} x2"
+
+    def test_case_and_whitespace_tolerated(self):
+        driver = make_method("  pdl (64 B)  X3 ", self._chips(3))
+        assert driver.n_shards == 3
+
+    def test_unknown_base_method_still_rejected(self):
+        with pytest.raises(ValueError):
+            make_method("LSM (4KB) x2", self._chips(2))
+
+    def test_sequence_of_one_chip_for_plain_label(self):
+        driver = make_method("PDL (64B)", self._chips(1))
+        assert isinstance(driver, PdlDriver)
+
+    def test_many_chips_for_plain_label_rejected(self):
+        from repro.ftl.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_method("PDL (64B)", self._chips(2))
+
+
 class TestMethodLists:
     def test_paper_methods_complete(self):
         assert set(PAPER_METHODS) == {
