@@ -47,11 +47,16 @@ from .flash import (
     BENCH_SPEC,
     SAMSUNG_K9L8G08U0M,
     TINY_SPEC,
+    BackendError,
     CrashError,
+    DeviceBackend,
+    FileBackend,
     FlashChip,
     FlashSpec,
     FlashStats,
+    MemoryBackend,
     PageType,
+    ReadCache,
     SpareArea,
     spec_for_database,
 )
@@ -89,15 +94,20 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BENCH_SPEC",
+    "BackendError",
     "ChangeRun",
     "CrashError",
     "CrashPoint",
+    "DeviceBackend",
     "Differential",
     "DifferentialWriteBuffer",
+    "FileBackend",
     "FlashChip",
     "FlashSpec",
     "FlashStats",
     "HashRouter",
+    "MemoryBackend",
+    "ReadCache",
     "IplDriver",
     "IpuDriver",
     "OpuDriver",

@@ -163,39 +163,121 @@ class PdlDriver(PageUpdateMethod):
                 return
             # Step 1: read the base page.
             base, _spare = self.chip.read_page(entry.base_addr)
-            # Step 2: create the differential by comparison.
-            diff = Differential.from_pages(
-                pid,
-                self._next_ts(),
-                base,
-                data,
-                coalesce_gap=self.coalesce_gap,
-                unit=self.diff_unit,
-            )
-            if diff.is_empty and entry.diff_addr is None and pid not in self.buffer:
-                # The page matches its base exactly and no stale differential
-                # exists anywhere: a pure no-op reflection.  When a stale
-                # differential *does* exist, the empty differential flows
-                # through the normal cases below — its fresh timestamp
-                # supersedes the stale one both at runtime and in recovery.
-                return
-            # Step 3: three cases by differential size.
-            if diff.size > self.effective_max:
-                self.case_counts[3] += 1
-                self._write_new_base(pid, data)
+            self._reflect(pid, data, base)
+
+    def _reflect(self, pid: int, data: bytes, base: bytes) -> None:
+        """Steps 2–3 of PDL_Writing, given the (pre-read) base image."""
+        entry = self.ppmt.require(pid)
+        # Step 2: create the differential by comparison.
+        diff = Differential.from_pages(
+            pid,
+            self._next_ts(),
+            base,
+            data,
+            coalesce_gap=self.coalesce_gap,
+            unit=self.diff_unit,
+        )
+        if diff.is_empty and entry.diff_addr is None and pid not in self.buffer:
+            # The page matches its base exactly and no stale differential
+            # exists anywhere: a pure no-op reflection.  When a stale
+            # differential *does* exist, the empty differential flows
+            # through the normal cases below — its fresh timestamp
+            # supersedes the stale one both at runtime and in recovery.
+            return
+        # Step 3: three cases by differential size.
+        if diff.size > self.effective_max:
+            self.case_counts[3] += 1
+            self._write_new_base(pid, data)
+        else:
+            self.buffer.remove(pid)
+            if diff.size > self.buffer.free_space:
+                self.case_counts[2] += 1
+                self._flush_buffer()
             else:
-                self.buffer.remove(pid)
-                if diff.size > self.buffer.free_space:
-                    self.case_counts[2] += 1
-                    self._flush_buffer()
-                else:
-                    self.case_counts[1] += 1
-                self.buffer.put(diff)
+                self.case_counts[1] += 1
+            self.buffer.put(diff)
 
     def flush(self) -> None:
         """Write-through (Section 4.5): force the write buffer to flash."""
         with self.stats.phase(WRITE_STEP):
             self._flush_buffer()
+
+    # ------------------------------------------------------------------
+    # Batched entry points
+    # ------------------------------------------------------------------
+    def load_pages(self, pages) -> None:
+        """Bulk-load many pages via batched chip programs.
+
+        Charges are identical to looping :meth:`load_page`; batches are
+        bounded by the active block so the allocator can only trigger GC
+        while nothing is staged (a staged-but-unprogrammed page must
+        never be visible to GC as valid).
+        """
+        with self.stats.phase("load"):
+            staged: List[tuple] = []  # (addr, data, spare, pid, ts)
+            staged_pids = set()
+
+            def commit() -> None:
+                if not staged:
+                    return
+                self.chip.program_pages([(a, d, s) for a, d, s, _p, _t in staged])
+                for addr, _d, _s, pid, ts in staged:
+                    self.blocks.note_valid(addr)
+                    self.ppmt.set_base(pid, addr, ts)
+                staged.clear()
+                staged_pids.clear()
+
+            for pid, data in pages:
+                self._check_page(pid, data)
+                if pid in self.ppmt or pid in staged_pids:
+                    commit()
+                    raise ValueError(f"logical page {pid} already loaded")
+                if self.blocks.pages_left_in_active == 0:
+                    commit()
+                ts = self._next_ts()
+                addr = self.blocks.allocate()
+                spare = SpareArea(type=PageType.BASE, pid=pid, timestamp=ts)
+                staged.append((addr, data, spare, pid, ts))
+                staged_pids.add(pid)
+            commit()
+
+    def write_pages(self, pages, update_logs=None) -> None:
+        """Reflect many pages, batching the base-page re-reads.
+
+        PDL_Writing's step 1 re-reads every target's base page; a
+        buffer-pool flush of N pages turns those N reads into one
+        batched chip call, then runs steps 2–3 sequentially (the write
+        buffer's state evolves across the batch).  Base images are
+        immutable while mapped — GC relocations copy them bit-identically
+        — so prefetching them up front cannot read stale data.
+        ``update_logs`` is accepted and ignored, as in
+        :meth:`write_page`.
+        """
+        pages = list(pages)
+        pids = [pid for pid, _ in pages]
+        if len(set(pids)) != len(pids):
+            # Duplicate pids must observe each other's effects in order;
+            # fall back to the sequential path.
+            super().write_pages(pages, update_logs)
+            return
+        for pid, data in pages:
+            self._check_page(pid, data)
+        with self.stats.phase(WRITE_STEP):
+            entries = [(pid, self.ppmt.get(pid)) for pid, _ in pages]
+            mapped = [
+                (pid, entry.base_addr) for pid, entry in entries if entry is not None
+            ]
+            bases = {}
+            if mapped:
+                images = self.chip.read_pages([addr for _, addr in mapped])
+                bases = {
+                    pid: data for (pid, _), (data, _spare) in zip(mapped, images)
+                }
+            for pid, data in pages:
+                if pid not in bases:
+                    self._program_base(pid, data)
+                else:
+                    self._reflect(pid, data, bases[pid])
 
     # ------------------------------------------------------------------
     # Writing paths

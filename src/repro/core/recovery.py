@@ -37,6 +37,11 @@ from .tables import PhysicalPageMappingTable, ValidDifferentialCountTable
 RECOVERY_PHASE = "recovery"
 
 
+#: Pages per batched spare read during the scan.  On the file backend the
+#: spare region is contiguous, so each chunk is a single sequential read.
+SCAN_CHUNK_PAGES = 4096
+
+
 @dataclass
 class RecoveryReport:
     """What the scan found — useful for tests and operational logging."""
@@ -54,11 +59,19 @@ def recover_tables(
     chip: FlashChip,
     ppmt: PhysicalPageMappingTable,
     vdct: ValidDifferentialCountTable,
+    driver: "Optional[PdlDriver]" = None,
 ) -> RecoveryReport:
     """Rebuild ppmt and vdct by scanning flash (Figure 11).
 
     The caller provides empty tables; the report carries scan statistics
-    and the largest timestamp seen (to resume the counter).
+    and the largest timestamp seen.  ``report.max_timestamp`` covers
+    *every* programmed spare area and differential entry — including
+    stale copies and differential-page headers, whose flush-time stamps
+    are strictly newer than the entries inside them — so resuming from
+    it restores the invariant that every post-recovery program gets a
+    stamp strictly larger than anything already on flash.  When
+    ``driver`` is supplied, its timestamp counter is resumed here, so
+    callers cannot forget to do it.
     """
     report = RecoveryReport()
     diff_ts: Dict[int, int] = {}  # pid -> timestamp of adopted differential
@@ -76,18 +89,26 @@ def recover_tables(
         diff_ts.pop(pid, None)
 
     with chip.stats.phase(RECOVERY_PHASE):
-        for addr in range(chip.spec.n_pages):
-            spare = chip.read_spare(addr)
-            report.pages_scanned += 1
-            if spare.is_erased or spare.obsolete:
-                continue
-            if spare.type is PageType.BASE:
-                _scan_base_page(chip, addr, spare.pid, spare.timestamp or 0,
-                                ppmt, diff_ts, drop_diff, report)
-            elif spare.type is PageType.DIFFERENTIAL:
-                _scan_diff_page(chip, addr, ppmt, vdct, diff_ts, drop_diff, report)
-            # Pages of other types (none in a pure-PDL deployment) are left
-            # untouched: recovery never destroys data it does not own.
+        for start in range(0, chip.spec.n_pages, SCAN_CHUNK_PAGES):
+            addrs = range(start, min(start + SCAN_CHUNK_PAGES, chip.spec.n_pages))
+            for addr, spare in zip(addrs, chip.read_spares(addrs)):
+                report.pages_scanned += 1
+                if spare.is_erased:
+                    continue
+                # Even stale/obsolete stamps must bound the resumed
+                # counter: a reused timestamp would break recovery's
+                # strictly-newer adoption rule on the next crash.
+                report.max_timestamp = max(report.max_timestamp, spare.timestamp or 0)
+                if spare.obsolete:
+                    continue
+                if spare.type is PageType.BASE:
+                    _scan_base_page(chip, addr, spare.pid, spare.timestamp or 0,
+                                    ppmt, diff_ts, drop_diff, report)
+                elif spare.type is PageType.DIFFERENTIAL:
+                    _scan_diff_page(chip, addr, ppmt, vdct, diff_ts, drop_diff, report)
+                # Pages of other types (none in a pure-PDL deployment) are
+                # left untouched: recovery never destroys data it does not
+                # own.
 
         # Entries whose base page never appeared cannot be served; their
         # differentials alone cannot recreate a page.  This indicates an
@@ -99,6 +120,8 @@ def recover_tables(
         for pid in orphans:
             ppmt.remove(pid)
 
+    if driver is not None:
+        driver.resume_ts(report.max_timestamp)
     return report
 
 
@@ -197,12 +220,13 @@ def recover_driver(
     # The fresh __init__ assumed an empty chip; rebuild its state.
     driver.ppmt = PhysicalPageMappingTable()
     driver.vdct = ValidDifferentialCountTable()
-    report = recover_tables(chip, driver.ppmt, driver.vdct)
+    # recover_tables resumes the timestamp counter itself (from the
+    # global maximum over all programmed stamps, stale copies included).
+    report = recover_tables(chip, driver.ppmt, driver.vdct, driver=driver)
     valid: Set[int] = set()
     for _pid, entry in driver.ppmt.items():
         valid.add(entry.base_addr)
     for diff_page in driver.vdct.pages():
         valid.add(diff_page)
     driver.blocks.rebuild(valid)
-    driver.resume_ts(report.max_timestamp)
     return driver, report

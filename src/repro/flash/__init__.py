@@ -10,6 +10,8 @@ Public surface:
 """
 
 from .address import PageAddress, block_of, page_range_of_block, split_address
+from .backend import BackendError, DeviceBackend, FileBackend, MemoryBackend
+from .cache import ReadCache
 from .chip import ERASE_OPS, MUTATING_OPS, PROGRAM_OPS, CrashPoint, FlashChip
 from .errors import (
     AddressError,
@@ -37,8 +39,13 @@ __all__ = [
     "AddressError",
     "BENCH_SPEC",
     "BENCH_SPEC_8K",
+    "BackendError",
     "CrashError",
     "CrashPoint",
+    "DeviceBackend",
+    "FileBackend",
+    "MemoryBackend",
+    "ReadCache",
     "DEFAULT_PHASE",
     "ERASE_OPS",
     "EraseError",

@@ -1,0 +1,600 @@
+"""Device backends: where a chip's bits actually live.
+
+:class:`~repro.flash.chip.FlashChip` enforces NAND *policy* — erase
+before program, spare-program budgets, latencies, crash injection — but
+delegates the *bits* to a :class:`DeviceBackend`.  Two implementations:
+
+* :class:`MemoryBackend` — the original in-process store (Python lists);
+  state dies with the process, which is fine for benchmarks and most
+  tests;
+* :class:`FileBackend` — a persistent single-file image, so a database
+  written by one process can be recovered by the next via the paper's
+  Figure-11 spare-area scan (Section 5's "from flash alone" claim needs
+  durable media, not resident state).
+
+A backend is deliberately dumber than a chip: it stores raw page images,
+raw spare areas, per-page program counters and per-block erase counts,
+and answers batched reads/writes.  "Erased" is represented by a zero
+program counter, never by content — which lets the file image keep its
+data region sparse (an erased page is never read from disk) and makes a
+block erase a tiny metadata write instead of a data-region rewrite.
+
+File image layout (little-endian, struct-packed)::
+
+    [0:64]    header: magic "PDLFLSH1", version u16, n_blocks u32,
+              pages_per_block u32, page_data_size u32, page_spare_size
+              u32, reserved 0xFF padding
+    [64:..]   erase counts    u32 × n_blocks
+    [..:..]   page meta       (data_programs u8, spare_programs u8) × n_pages
+    [..:..]   data region     page_data_size × n_pages
+    [..:..]   spare region    page_spare_size × n_pages
+
+Data areas and spare areas live in *separate* contiguous regions so the
+recovery scan — which touches every spare area but almost no data areas —
+reads one sequential run instead of seeking past 2 KB of data per page.
+The file is opened unbuffered: a completed write has reached the OS
+before the call returns, so a process that dies (even via ``os._exit``)
+loses nothing it was told was written.  ``sync()`` additionally calls
+``fsync`` for power-loss durability.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from abc import ABC, abstractmethod
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .errors import AddressError
+from .spec import FlashSpec
+
+MAGIC = b"PDLFLSH1"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sHIIII")
+HEADER_SIZE = 64
+
+#: Bytes of per-page metadata: (data_programs, spare_programs).
+_META_SIZE = 2
+
+
+class BackendError(RuntimeError):
+    """Raised when a backend image is missing, corrupt, or mismatched."""
+
+
+class DeviceBackend(ABC):
+    """Raw page store behind a :class:`~repro.flash.chip.FlashChip`.
+
+    All addresses are flat page addresses in ``[0, spec.n_pages)`` and
+    all payloads are *raw* encoded bytes (full data-area and spare-area
+    images); callers are trusted to have validated NAND legality.
+    ``None`` data/spare means erased.
+    """
+
+    spec: FlashSpec
+
+    # ------------------------------------------------------------------
+    # Single-page operations
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def read_data(self, addr: int) -> Optional[bytes]:
+        """Raw data-area image, or ``None`` when erased."""
+
+    @abstractmethod
+    def read_spare(self, addr: int) -> Optional[bytes]:
+        """Raw spare-area image, or ``None`` when erased."""
+
+    @abstractmethod
+    def program_page(self, addr: int, data: bytes, spare: bytes) -> None:
+        """Store a full page (data + spare); program counters become 1/1."""
+
+    @abstractmethod
+    def write_data(self, addr: int, data: bytes, programs: int) -> None:
+        """Store an updated data-area image (partial-program result) and
+        the new data-program count."""
+
+    @abstractmethod
+    def write_spare(self, addr: int, spare: bytes, programs: int) -> None:
+        """Store a re-programmed spare area and the new spare-program
+        count (obsolete marks travel through here)."""
+
+    @abstractmethod
+    def erase_block(self, block: int) -> None:
+        """Reset every page of the block to erased; bump the erase count."""
+
+    # ------------------------------------------------------------------
+    # Batched operations (the hot path)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def read_pages(
+        self, addrs: Sequence[int]
+    ) -> List[Tuple[Optional[bytes], Optional[bytes]]]:
+        """Raw ``(data, spare)`` pairs for many pages in one call."""
+
+    @abstractmethod
+    def read_spares(self, addrs: Sequence[int]) -> List[Optional[bytes]]:
+        """Raw spare areas for many pages in one call (recovery scans)."""
+
+    @abstractmethod
+    def program_pages(self, items: Sequence[Tuple[int, bytes, bytes]]) -> None:
+        """Store many full pages — ``(addr, data, spare)`` — in one call."""
+
+    # ------------------------------------------------------------------
+    # Counters and enumeration
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def data_programs(self, addr: int) -> int:
+        """Programs applied to the data area since the last erase."""
+
+    @abstractmethod
+    def spare_programs(self, addr: int) -> int:
+        """Programs applied to the spare area since the last erase."""
+
+    @abstractmethod
+    def erase_count(self, block: int) -> int:
+        """Lifetime erase count of the block (wear)."""
+
+    @abstractmethod
+    def is_block_erased(self, block: int) -> bool:
+        """True when no page of the block has been programmed."""
+
+    @abstractmethod
+    def iter_programmed(self) -> Iterator[int]:
+        """Flat addresses of all pages with a programmed spare area."""
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Force written state to durable media (no-op in memory)."""
+
+    def close(self) -> None:
+        """Release resources; the backend must not be used afterwards."""
+
+    # ------------------------------------------------------------------
+    # Shared validation
+    # ------------------------------------------------------------------
+    def _check_addr(self, addr: int) -> None:
+        if not 0 <= addr < self.spec.n_pages:
+            raise AddressError(
+                f"page address {addr} outside chip of {self.spec.n_pages} pages"
+            )
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.spec.n_blocks:
+            raise AddressError(
+                f"block {block} outside chip of {self.spec.n_blocks}"
+            )
+
+
+class MemoryBackend(DeviceBackend):
+    """The original volatile store: plain Python lists."""
+
+    def __init__(self, spec: FlashSpec):
+        self.spec = spec
+        self._data: List[Optional[bytes]] = [None] * spec.n_pages
+        self._spare: List[Optional[bytes]] = [None] * spec.n_pages
+        self._data_programs: List[int] = [0] * spec.n_pages
+        self._spare_programs: List[int] = [0] * spec.n_pages
+        self._erase_counts: List[int] = [0] * spec.n_blocks
+
+    # -- single-page ---------------------------------------------------
+    def read_data(self, addr: int) -> Optional[bytes]:
+        self._check_addr(addr)
+        return self._data[addr]
+
+    def read_spare(self, addr: int) -> Optional[bytes]:
+        self._check_addr(addr)
+        return self._spare[addr]
+
+    def program_page(self, addr: int, data: bytes, spare: bytes) -> None:
+        self._check_addr(addr)
+        self._data[addr] = bytes(data)
+        self._spare[addr] = bytes(spare)
+        self._data_programs[addr] = 1
+        self._spare_programs[addr] = 1
+
+    def write_data(self, addr: int, data: bytes, programs: int) -> None:
+        self._check_addr(addr)
+        self._data[addr] = bytes(data)
+        self._data_programs[addr] = programs
+
+    def write_spare(self, addr: int, spare: bytes, programs: int) -> None:
+        self._check_addr(addr)
+        self._spare[addr] = bytes(spare)
+        self._spare_programs[addr] = programs
+
+    def erase_block(self, block: int) -> None:
+        self._check_block(block)
+        start = block * self.spec.pages_per_block
+        for addr in range(start, start + self.spec.pages_per_block):
+            self._data[addr] = None
+            self._spare[addr] = None
+            self._data_programs[addr] = 0
+            self._spare_programs[addr] = 0
+        self._erase_counts[block] += 1
+
+    # -- batched -------------------------------------------------------
+    def read_pages(self, addrs):
+        for a in addrs:
+            self._check_addr(a)
+        data, spare = self._data, self._spare
+        return [(data[a], spare[a]) for a in addrs]
+
+    def read_spares(self, addrs):
+        for a in addrs:
+            self._check_addr(a)
+        spare = self._spare
+        return [spare[a] for a in addrs]
+
+    def program_pages(self, items) -> None:
+        for addr, data, spare in items:
+            self.program_page(addr, data, spare)
+
+    # -- counters / enumeration ----------------------------------------
+    def data_programs(self, addr: int) -> int:
+        self._check_addr(addr)
+        return self._data_programs[addr]
+
+    def spare_programs(self, addr: int) -> int:
+        self._check_addr(addr)
+        return self._spare_programs[addr]
+
+    def erase_count(self, block: int) -> int:
+        self._check_block(block)
+        return self._erase_counts[block]
+
+    def is_block_erased(self, block: int) -> bool:
+        self._check_block(block)
+        start = block * self.spec.pages_per_block
+        return all(
+            self._data_programs[a] == 0 and self._spare_programs[a] == 0
+            for a in range(start, start + self.spec.pages_per_block)
+        )
+
+    def iter_programmed(self) -> Iterator[int]:
+        for addr, raw in enumerate(self._spare):
+            if raw is not None:
+                yield addr
+
+
+class FileBackend(DeviceBackend):
+    """A persistent chip image in a single on-disk file.
+
+    Construct with :meth:`create` (new image; fails when the file
+    exists) or :meth:`open` (existing image; validates the header).  The
+    bare constructor opens-or-creates, which is what
+    :meth:`repro.storage.db.Database.open` wants.
+
+    The data region is kept sparse: the truth about whether a page is
+    erased lives in the per-page program counters, so an erase writes
+    ``2 × pages_per_block`` bytes of metadata and never touches the data
+    region, and reads of erased pages never touch the disk at all.
+
+    The metadata region (program counters + erase counts — a few bytes
+    per page) is mirrored in RAM with write-through: it is read from
+    disk once at open, every update goes to both copies, and all lookups
+    are served from the mirror.  Durability is unaffected (the disk copy
+    is always current) and the common case — checking whether a page is
+    programmed before touching its data — costs no I/O.
+    """
+
+    def __init__(self, path: "str | os.PathLike", spec: Optional[FlashSpec] = None):
+        self.path = os.fspath(path)
+        if os.path.exists(self.path):
+            self._open_existing(spec)
+        else:
+            if spec is None:
+                raise BackendError(
+                    f"no image at {self.path!r} and no spec to create one"
+                )
+            self._create_new(spec)
+
+    # ------------------------------------------------------------------
+    # Explicit constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, path: "str | os.PathLike", spec: FlashSpec) -> "FileBackend":
+        if os.path.exists(os.fspath(path)):
+            raise BackendError(f"image {os.fspath(path)!r} already exists")
+        return cls(path, spec)
+
+    @classmethod
+    def open(
+        cls, path: "str | os.PathLike", spec: Optional[FlashSpec] = None
+    ) -> "FileBackend":
+        if not os.path.exists(os.fspath(path)):
+            raise BackendError(f"no image at {os.fspath(path)!r}")
+        return cls(path, spec)
+
+    # ------------------------------------------------------------------
+    # Image creation / opening
+    # ------------------------------------------------------------------
+    def _layout(self, spec: FlashSpec) -> None:
+        self.spec = spec
+        self._erase_off = HEADER_SIZE
+        self._meta_off = self._erase_off + 4 * spec.n_blocks
+        self._data_off = self._meta_off + _META_SIZE * spec.n_pages
+        self._spare_off = self._data_off + spec.page_data_size * spec.n_pages
+        self._size = self._spare_off + spec.page_spare_size * spec.n_pages
+
+    def _create_new(self, spec: FlashSpec) -> None:
+        self._layout(spec)
+        header = _HEADER.pack(
+            MAGIC,
+            FORMAT_VERSION,
+            spec.n_blocks,
+            spec.pages_per_block,
+            spec.page_data_size,
+            spec.page_spare_size,
+        )
+        header += b"\xff" * (HEADER_SIZE - len(header))
+        # O_EXCL-free create: callers wanting exclusivity use create().
+        self._file = open(self.path, "w+b", buffering=0)
+        self._file.write(header)
+        # Zeroed counters mean "everything erased"; truncate leaves the
+        # data and spare regions sparse.
+        self._file.write(bytes(4 * spec.n_blocks + _META_SIZE * spec.n_pages))
+        self._file.truncate(self._size)
+        self._meta_mirror = bytearray(_META_SIZE * spec.n_pages)
+        self._erase_mirror = [0] * spec.n_blocks
+
+    def _open_existing(self, spec: Optional[FlashSpec]) -> None:
+        self._file = open(self.path, "r+b", buffering=0)
+        raw = self._file.read(HEADER_SIZE)
+        if len(raw) < _HEADER.size:
+            raise BackendError(f"image {self.path!r} too short for a header")
+        magic, version, n_blocks, ppb, data_size, spare_size = _HEADER.unpack_from(
+            raw, 0
+        )
+        if magic != MAGIC:
+            raise BackendError(f"image {self.path!r} has bad magic {magic!r}")
+        if version != FORMAT_VERSION:
+            raise BackendError(
+                f"image {self.path!r} is format v{version}, "
+                f"expected v{FORMAT_VERSION}"
+            )
+        if spec is None:
+            # Geometry comes from the image; timings use spec defaults.
+            spec = FlashSpec(
+                n_blocks=n_blocks,
+                pages_per_block=ppb,
+                page_data_size=data_size,
+                page_spare_size=spare_size,
+            )
+        else:
+            stored = (n_blocks, ppb, data_size, spare_size)
+            given = (
+                spec.n_blocks,
+                spec.pages_per_block,
+                spec.page_data_size,
+                spec.page_spare_size,
+            )
+            if stored != given:
+                raise BackendError(
+                    f"image {self.path!r} geometry {stored} does not match "
+                    f"requested spec geometry {given}"
+                )
+        self._layout(spec)
+        raw_counts = self._read_at(self._erase_off, 4 * spec.n_blocks)
+        self._erase_mirror = list(
+            struct.unpack(f"<{spec.n_blocks}I", raw_counts)
+        )
+        self._meta_mirror = bytearray(
+            self._read_at(self._meta_off, _META_SIZE * spec.n_pages)
+        )
+
+    # ------------------------------------------------------------------
+    # Raw file I/O helpers
+    # ------------------------------------------------------------------
+    def _read_at(self, offset: int, size: int) -> bytes:
+        self._file.seek(offset)
+        buf = self._file.read(size)
+        if len(buf) != size:
+            raise BackendError(
+                f"short read at {offset} in {self.path!r}: "
+                f"wanted {size}, got {len(buf)}"
+            )
+        return buf
+
+    def _write_at(self, offset: int, payload: bytes) -> None:
+        self._file.seek(offset)
+        self._file.write(payload)
+
+    def _meta(self, addr: int) -> Tuple[int, int]:
+        base = _META_SIZE * addr
+        return self._meta_mirror[base], self._meta_mirror[base + 1]
+
+    def _set_meta(self, addr: int, data_programs: int, spare_programs: int) -> None:
+        payload = bytes((min(data_programs, 0xFF), min(spare_programs, 0xFF)))
+        self._meta_mirror[_META_SIZE * addr : _META_SIZE * (addr + 1)] = payload
+        self._write_at(self._meta_off + _META_SIZE * addr, payload)
+
+    # -- single-page ---------------------------------------------------
+    def read_data(self, addr: int) -> Optional[bytes]:
+        self._check_addr(addr)
+        if self._meta(addr)[0] == 0:
+            return None
+        size = self.spec.page_data_size
+        return self._read_at(self._data_off + size * addr, size)
+
+    def read_spare(self, addr: int) -> Optional[bytes]:
+        self._check_addr(addr)
+        if self._meta(addr)[1] == 0:
+            return None
+        size = self.spec.page_spare_size
+        return self._read_at(self._spare_off + size * addr, size)
+
+    def program_page(self, addr: int, data: bytes, spare: bytes) -> None:
+        self._check_addr(addr)
+        self._write_at(self._data_off + self.spec.page_data_size * addr, data)
+        self._write_at(self._spare_off + self.spec.page_spare_size * addr, spare)
+        self._set_meta(addr, 1, 1)
+
+    def write_data(self, addr: int, data: bytes, programs: int) -> None:
+        self._check_addr(addr)
+        spare_programs = self._meta(addr)[1]
+        self._write_at(self._data_off + self.spec.page_data_size * addr, data)
+        self._set_meta(addr, programs, spare_programs)
+
+    def write_spare(self, addr: int, spare: bytes, programs: int) -> None:
+        self._check_addr(addr)
+        data_programs = self._meta(addr)[0]
+        self._write_at(self._spare_off + self.spec.page_spare_size * addr, spare)
+        self._set_meta(addr, data_programs, programs)
+
+    def erase_block(self, block: int) -> None:
+        self._check_block(block)
+        ppb = self.spec.pages_per_block
+        start = block * ppb
+        # One metadata write resets the whole block to "erased"; the
+        # stale data/spare bytes are unreachable behind zero counters.
+        zeros = bytes(_META_SIZE * ppb)
+        self._meta_mirror[_META_SIZE * start : _META_SIZE * (start + ppb)] = zeros
+        self._write_at(self._meta_off + _META_SIZE * start, zeros)
+        self._erase_mirror[block] += 1
+        self._write_at(
+            self._erase_off + 4 * block, struct.pack("<I", self._erase_mirror[block])
+        )
+
+    # -- batched -------------------------------------------------------
+    def read_pages(self, addrs):
+        metas = self._meta_run(addrs)
+        out: List[Tuple[Optional[bytes], Optional[bytes]]] = []
+        data_size = self.spec.page_data_size
+        spare_size = self.spec.page_spare_size
+        for addr, (dp, sp), data_buf, spare_buf in zip(
+            addrs,
+            metas,
+            self._region_run(addrs, self._data_off, data_size),
+            self._region_run(addrs, self._spare_off, spare_size),
+        ):
+            out.append(
+                (data_buf if dp else None, spare_buf if sp else None)
+            )
+        return out
+
+    def read_spares(self, addrs):
+        metas = self._meta_run(addrs)
+        spare_size = self.spec.page_spare_size
+        return [
+            buf if sp else None
+            for (_dp, sp), buf in zip(
+                metas, self._region_run(addrs, self._spare_off, spare_size)
+            )
+        ]
+
+    def program_pages(self, items) -> None:
+        # Coalesce contiguous address runs into single writes per region;
+        # allocation is sequential within a block, so flushes, GC
+        # relocations and bulk loads almost always form one run.
+        for run in _contiguous_runs(items):
+            start = run[0][0]
+            self._write_at(
+                self._data_off + self.spec.page_data_size * start,
+                b"".join(data for _a, data, _s in run),
+            )
+            self._write_at(
+                self._spare_off + self.spec.page_spare_size * start,
+                b"".join(spare for _a, _d, spare in run),
+            )
+            ones = b"\x01\x01" * len(run)
+            self._meta_mirror[
+                _META_SIZE * start : _META_SIZE * (start + len(run))
+            ] = ones
+            self._write_at(self._meta_off + _META_SIZE * start, ones)
+
+    def _meta_run(self, addrs: Sequence[int]) -> List[Tuple[int, int]]:
+        """Per-page meta for many pages (served from the RAM mirror)."""
+        out: List[Tuple[int, int]] = []
+        for start, count in _address_runs(addrs):
+            self._check_addr(start)
+            self._check_addr(start + count - 1)
+            raw = self._meta_mirror[_META_SIZE * start : _META_SIZE * (start + count)]
+            out.extend(
+                (raw[2 * i], raw[2 * i + 1]) for i in range(count)
+            )
+        return out
+
+    def _region_run(
+        self, addrs: Sequence[int], region_off: int, item_size: int
+    ) -> List[bytes]:
+        """Raw images for many pages from one region, coalescing runs."""
+        out: List[bytes] = []
+        for start, count in _address_runs(addrs):
+            raw = self._read_at(region_off + item_size * start, item_size * count)
+            out.extend(
+                raw[i * item_size : (i + 1) * item_size] for i in range(count)
+            )
+        return out
+
+    # -- counters / enumeration ----------------------------------------
+    def data_programs(self, addr: int) -> int:
+        self._check_addr(addr)
+        return self._meta(addr)[0]
+
+    def spare_programs(self, addr: int) -> int:
+        self._check_addr(addr)
+        return self._meta(addr)[1]
+
+    def erase_count(self, block: int) -> int:
+        self._check_block(block)
+        return self._erase_mirror[block]
+
+    def is_block_erased(self, block: int) -> bool:
+        self._check_block(block)
+        ppb = self.spec.pages_per_block
+        start = _META_SIZE * block * ppb
+        raw = self._meta_mirror[start : start + _META_SIZE * ppb]
+        return raw.count(0) == len(raw)
+
+    def iter_programmed(self) -> Iterator[int]:
+        raw = self._meta_mirror
+        for addr in range(self.spec.n_pages):
+            if raw[2 * addr + 1]:
+                yield addr
+
+    # -- lifecycle -----------------------------------------------------
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self.sync()
+            self._file.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FileBackend {self.path!r} {self.spec.n_pages} pages>"
+
+
+def _address_runs(addrs: Sequence[int]) -> Iterator[Tuple[int, int]]:
+    """Split an address sequence into maximal contiguous (start, count) runs."""
+    run_start: Optional[int] = None
+    prev = -2
+    count = 0
+    for addr in addrs:
+        if run_start is not None and addr == prev + 1:
+            count += 1
+        else:
+            if run_start is not None:
+                yield run_start, count
+            run_start = addr
+            count = 1
+        prev = addr
+    if run_start is not None:
+        yield run_start, count
+
+
+def _contiguous_runs(
+    items: Sequence[Tuple[int, bytes, bytes]]
+) -> Iterator[List[Tuple[int, bytes, bytes]]]:
+    """Group (addr, data, spare) items into contiguous-address runs."""
+    run: List[Tuple[int, bytes, bytes]] = []
+    for item in items:
+        if run and item[0] != run[-1][0] + 1:
+            yield run
+            run = []
+        run.append(item)
+    if run:
+        yield run

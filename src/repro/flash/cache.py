@@ -1,0 +1,69 @@
+"""An LRU base-page read cache in front of the device backend.
+
+Flash-resident caches (the extended-cache line of work, arXiv:1208.0289)
+keep hot read traffic off the device; here a small RAM cache does the
+same for the emulator's persistent :class:`~repro.flash.backend
+.FileBackend`, whose reads are real syscalls.  PDL's hot read is the
+*base page*: both PDL_Reading (step 1) and PDL_Writing (the
+differential-producing re-read) fetch it, so only pages whose spare
+decodes to :class:`~repro.flash.spare.PageType.BASE` are cached —
+differential pages churn too fast to be worth the frames.
+
+The cache is **off by default** (``FlashChip(..., read_cache_pages=N)``
+turns it on) because a hit skips the Table-1 ``Tread`` charge: enabling
+it changes the simulated cost model from "every read touches flash" to
+"cached reads are RAM reads", which is the point, but must be an
+explicit choice for paper-faithful experiments.  Hits and misses are
+counted in :class:`~repro.flash.stats.FlashStats`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from .spare import SpareArea
+
+
+class ReadCache:
+    """Fixed-capacity LRU of ``addr -> (data, decoded spare)``."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("read cache capacity must be at least one page")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Tuple[bytes, SpareArea]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._entries
+
+    def get(self, addr: int) -> Optional[Tuple[bytes, SpareArea]]:
+        entry = self._entries.get(addr)
+        if entry is not None:
+            self._entries.move_to_end(addr)
+        return entry
+
+    def put(self, addr: int, data: bytes, spare: SpareArea) -> None:
+        self._entries[addr] = (data, spare)
+        self._entries.move_to_end(addr)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, addr: int) -> None:
+        self._entries.pop(addr, None)
+
+    def invalidate_range(self, start: int, stop: int) -> None:
+        """Drop every cached page in ``[start, stop)`` (block erase)."""
+        if len(self._entries) <= stop - start:
+            for addr in list(self._entries):
+                if start <= addr < stop:
+                    del self._entries[addr]
+        else:
+            for addr in range(start, stop):
+                self._entries.pop(addr, None)
+
+    def clear(self) -> None:
+        self._entries.clear()

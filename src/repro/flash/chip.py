@@ -1,6 +1,6 @@
-"""In-memory NAND flash chip emulator.
+"""NAND flash chip emulator: policy over a pluggable device backend.
 
-The emulator enforces real NAND semantics (Section 2 of the paper):
+The chip enforces real NAND semantics (Section 2 of the paper):
 
 * the read/write unit is a page, the erase unit is a block;
 * an erased page reads as all bits 1 (``0xFF`` bytes);
@@ -13,11 +13,21 @@ The emulator enforces real NAND semantics (Section 2 of the paper):
   (``FlashSpec.max_log_page_programs``), the relaxation IPL's cost model
   requires (see DESIGN.md).
 
-Every operation charges its Table-1 latency to :class:`FlashStats` under
-the current accounting phase, and to a monotonic chip clock that survives
-stats resets.  The paper's own numbers come from exactly this kind of
-emulator ("access time using the emulator must be identical to that using
-the real flash memory"), so simulated I/O time is the faithful metric.
+The *bits* live in a :class:`~repro.flash.backend.DeviceBackend` — the
+volatile :class:`~repro.flash.backend.MemoryBackend` by default, or the
+persistent :class:`~repro.flash.backend.FileBackend` for state that
+survives the process.  The chip keeps everything the paper's model adds
+on top: Table-1 latencies and phase accounting, the monotonic clock,
+wear limits, crash injection, and the NAND legality checks above.
+
+Batched entry points (:meth:`read_pages`, :meth:`read_spares`,
+:meth:`program_pages`) charge exactly the same per-page latencies as N
+single calls — simulated cost is identical by construction — but reach
+the backend in one call, which amortizes syscalls on the file backend
+and per-call overhead in memory.  Crash injection still fires *between*
+pages of a batch: the pages admitted before the failure are persisted,
+so the post-crash state is a prefix of completed operations exactly as
+with single-page calls.
 
 Crash injection: a :class:`CrashPoint` armed via
 :meth:`FlashChip.set_crash_point` makes the chip raise
@@ -32,9 +42,11 @@ prefix of completed operations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
-from .address import page_range_of_block, split_address
+from .address import split_address
+from .backend import DeviceBackend, MemoryBackend
+from .cache import ReadCache
 from .errors import (
     AddressError,
     EraseError,
@@ -43,7 +55,7 @@ from .errors import (
     SpareProgramError,
     WearOutError,
 )
-from .spare import SpareArea, erased_spare
+from .spare import PageType, SpareArea, erased_spare
 from .spec import FlashSpec
 from .stats import FlashStats
 
@@ -100,24 +112,53 @@ class FlashChip:
     Parameters
     ----------
     spec:
-        Chip geometry and latencies.
+        Chip geometry and latencies.  May be omitted when ``backend`` is
+        given (the backend's spec is adopted).
     stats:
         Optional pre-built stats collector (a fresh one is created by
         default).
+    backend:
+        Device backend holding the bits; defaults to a fresh
+        :class:`MemoryBackend` — the original volatile emulator.
+    read_cache_pages:
+        Capacity of the LRU base-page read cache (0, the default,
+        disables it).  Cache hits skip both the backend access and the
+        ``Tread`` charge; see :mod:`repro.flash.cache`.
     """
 
-    def __init__(self, spec: FlashSpec, stats: Optional[FlashStats] = None):
+    def __init__(
+        self,
+        spec: Optional[FlashSpec] = None,
+        stats: Optional[FlashStats] = None,
+        backend: Optional[DeviceBackend] = None,
+        read_cache_pages: int = 0,
+    ):
+        if spec is None and backend is None:
+            raise ValueError("FlashChip needs a spec or a backend")
+        if backend is None:
+            backend = MemoryBackend(spec)
+        if spec is None:
+            spec = backend.spec
+        elif (
+            spec.n_blocks,
+            spec.pages_per_block,
+            spec.page_data_size,
+            spec.page_spare_size,
+        ) != (
+            backend.spec.n_blocks,
+            backend.spec.pages_per_block,
+            backend.spec.page_data_size,
+            backend.spec.page_spare_size,
+        ):
+            raise ValueError(
+                "spec geometry does not match the backend's image geometry"
+            )
         self.spec = spec
+        self.backend = backend
         self.stats = stats or FlashStats(
             spec.n_blocks, spec.t_read_us, spec.t_write_us, spec.t_erase_us
         )
-        # None = erased.  Data and spare stored separately so spare
-        # re-programming does not copy the 2 KB data area.
-        self._data: List[Optional[bytes]] = [None] * spec.n_pages
-        self._spare: List[Optional[bytes]] = [None] * spec.n_pages
-        self._data_programs: List[int] = [0] * spec.n_pages
-        self._spare_programs: List[int] = [0] * spec.n_pages
-        self._erase_counts: List[int] = [0] * spec.n_blocks
+        self.cache = ReadCache(read_cache_pages) if read_cache_pages > 0 else None
         self._clock_us: float = 0.0
         self._crash_point: Optional[CrashPoint] = None
         self._crash_remaining: int = 0
@@ -185,14 +226,29 @@ class FlashChip:
     # Read operations
     # ------------------------------------------------------------------
     def read_page(self, addr: int) -> Tuple[bytes, SpareArea]:
-        """Read a page's data area and decoded spare area (one Tread)."""
+        """Read a page's data area and decoded spare area (one Tread).
+
+        With a read cache enabled, a hit serves both from RAM and
+        charges nothing; only base pages are admitted (see
+        :mod:`repro.flash.cache`).
+        """
         self._check_addr(addr)
+        if self.cache is not None:
+            entry = self.cache.get(addr)
+            if entry is not None:
+                self.stats.record_cache_hit()
+                return entry
         self.stats.record_read()
         self._clock_us += self.spec.t_read_us
-        data = self._data[addr]
+        data = self.backend.read_data(addr)
         if data is None:
             data = b"\xff" * self.spec.page_data_size
-        return data, self._decoded_spare(addr)
+        spare = self._decoded_spare(addr)
+        if self.cache is not None:
+            self.stats.record_cache_miss()
+            if spare.type is PageType.BASE and not spare.obsolete:
+                self.cache.put(addr, data, spare)
+        return data, spare
 
     def read_spare(self, addr: int) -> SpareArea:
         """Read only the spare area (still one Tread, as in the paper's
@@ -201,6 +257,45 @@ class FlashChip:
         self.stats.record_read()
         self._clock_us += self.spec.t_read_us
         return self._decoded_spare(addr)
+
+    def read_pages(self, addrs: Sequence[int]) -> List[Tuple[bytes, SpareArea]]:
+        """Read many pages in one backend call (N × Tread, batched I/O).
+
+        With the read cache disabled (the default), charges and results
+        are identical to N :meth:`read_page` calls.  The cache is never
+        consulted nor populated here — batch readers (GC, recovery)
+        stream pages once and would only thrash it — so with a cache
+        enabled this path always pays full Tread where single
+        :meth:`read_page` calls might hit for free.
+        """
+        for addr in addrs:
+            self._check_addr(addr)
+        self.stats.record_reads(len(addrs))
+        self._clock_us += self.spec.t_read_us * len(addrs)
+        erased = b"\xff" * self.spec.page_data_size
+        return [
+            (raw_data if raw_data is not None else erased,
+             self._decode_raw_spare(raw_spare))
+            for raw_data, raw_spare in self.backend.read_pages(addrs)
+        ]
+
+    def read_spares(self, addrs: Sequence[int]) -> List[SpareArea]:
+        """Read many spare areas in one backend call (N × Tread).
+
+        The recovery scan's hot path: on the file backend the spare
+        region is contiguous, so scanning a whole chip's spare areas is
+        a handful of sequential reads instead of one seek per page.
+        """
+        for addr in addrs:
+            self._check_addr(addr)
+        self.stats.record_reads(len(addrs))
+        self._clock_us += self.spec.t_read_us * len(addrs)
+        decode = SpareArea.decode
+        erased = erased_spare(self.spec.page_spare_size)
+        return [
+            decode(raw if raw is not None else erased)
+            for raw in self.backend.read_spares(addrs)
+        ]
 
     # ------------------------------------------------------------------
     # Program operations
@@ -211,26 +306,68 @@ class FlashChip:
         The data area must currently be erased: NAND forbids overwriting.
         Short ``data`` is padded with ``0xFF`` (unprogrammed bits).
         """
+        payload = self._validate_program(addr, data)
+        self._pre_mutate("program_page")
+        self.stats.record_write()
+        self._clock_us += self.spec.t_write_us
+        self.backend.program_page(
+            addr, payload, spare.encode(self.spec.page_spare_size)
+        )
+        if self.cache is not None:
+            self.cache.invalidate(addr)
+
+    def program_pages(
+        self, items: Sequence[Tuple[int, bytes, SpareArea]]
+    ) -> None:
+        """Program many full pages in one backend call (N × Twrite).
+
+        Semantically identical to N :meth:`program_page` calls, crash
+        injection included: each page passes the crash/observer hook
+        individually, and if a :class:`SimulatedPowerLoss` (or a
+        validation error) fires at page *i*, pages ``[0, i)`` are
+        persisted before the exception propagates — the surviving flash
+        state is the same prefix a sequence of single programs would
+        have left.
+        """
+        staged: List[Tuple[int, bytes, bytes]] = []
+        staged_addrs = set()
+        try:
+            for addr, data, spare in items:
+                if addr in staged_addrs:
+                    raise ProgramError(
+                        f"page {split_address(addr, self.spec)} programmed "
+                        "twice in one batch"
+                    )
+                payload = self._validate_program(addr, data)
+                self._pre_mutate("program_page")
+                self.stats.record_write()
+                self._clock_us += self.spec.t_write_us
+                staged.append(
+                    (addr, payload, spare.encode(self.spec.page_spare_size))
+                )
+                staged_addrs.add(addr)
+        finally:
+            if staged:
+                self.backend.program_pages(staged)
+                if self.cache is not None:
+                    for addr in staged_addrs:
+                        self.cache.invalidate(addr)
+
+    def _validate_program(self, addr: int, data: bytes) -> bytes:
         self._check_addr(addr)
         if len(data) > self.spec.page_data_size:
             raise ProgramError(
                 f"data of {len(data)} bytes exceeds page data area "
                 f"of {self.spec.page_data_size}"
             )
-        if self._data[addr] is not None:
+        if self.backend.data_programs(addr) != 0:
             raise ProgramError(
                 f"page {split_address(addr, self.spec)} already programmed; "
                 "erase the block before rewriting"
             )
-        self._pre_mutate("program_page")
-        self.stats.record_write()
-        self._clock_us += self.spec.t_write_us
         if len(data) < self.spec.page_data_size:
             data = bytes(data) + b"\xff" * (self.spec.page_data_size - len(data))
-        self._data[addr] = bytes(data)
-        self._spare[addr] = spare.encode(self.spec.page_spare_size)
-        self._data_programs[addr] = 1
-        self._spare_programs[addr] = 1
+        return bytes(data)
 
     def program_partial(
         self, addr: int, offset: int, data: bytes, spare: Optional[SpareArea] = None
@@ -248,7 +385,7 @@ class FlashChip:
                 f"partial program [{offset}, {offset + len(data)}) outside "
                 f"data area of {self.spec.page_data_size} bytes"
             )
-        current = self._data[addr]
+        current = self.backend.read_data(addr)
         if current is None:
             current = b"\xff" * self.spec.page_data_size
         region = current[offset : offset + len(data)]
@@ -257,7 +394,8 @@ class FlashChip:
                 f"partial program overlaps programmed bytes at "
                 f"{split_address(addr, self.spec)}+{offset}"
             )
-        if self._data_programs[addr] >= self.spec.max_log_page_programs:
+        data_programs = self.backend.data_programs(addr)
+        if data_programs >= self.spec.max_log_page_programs:
             raise ProgramError(
                 f"page {split_address(addr, self.spec)} exhausted its "
                 f"{self.spec.max_log_page_programs} partial programs"
@@ -267,12 +405,14 @@ class FlashChip:
         self._clock_us += self.spec.t_write_us
         updated = bytearray(current)
         updated[offset : offset + len(data)] = data
-        self._data[addr] = bytes(updated)
-        self._data_programs[addr] += 1
-        if self._spare[addr] is None:
+        self.backend.write_data(addr, bytes(updated), data_programs + 1)
+        if self.backend.spare_programs(addr) == 0:
             chosen = spare if spare is not None else SpareArea()
-            self._spare[addr] = chosen.encode(self.spec.page_spare_size)
-            self._spare_programs[addr] = 1
+            self.backend.write_spare(
+                addr, chosen.encode(self.spec.page_spare_size), 1
+            )
+        if self.cache is not None:
+            self.cache.invalidate(addr)
 
     def program_spare(self, addr: int, spare: SpareArea) -> None:
         """Re-program only the spare area (one Twrite).
@@ -283,13 +423,14 @@ class FlashChip:
         """
         self._check_addr(addr)
         encoded = spare.encode(self.spec.page_spare_size)
-        current = self._spare[addr]
+        current = self.backend.read_spare(addr)
         if current is not None and not _bits_compatible(current, encoded):
             raise SpareProgramError(
                 f"spare reprogram at {split_address(addr, self.spec)} "
                 "would set bits from 0 to 1"
             )
-        if self._spare_programs[addr] >= self.spec.max_spare_programs:
+        spare_programs = self.backend.spare_programs(addr)
+        if spare_programs >= self.spec.max_spare_programs:
             raise SpareProgramError(
                 f"spare area at {split_address(addr, self.spec)} exhausted its "
                 f"{self.spec.max_spare_programs} programs"
@@ -297,8 +438,9 @@ class FlashChip:
         self._pre_mutate("program_spare")
         self.stats.record_write()
         self._clock_us += self.spec.t_write_us
-        self._spare[addr] = encoded
-        self._spare_programs[addr] += 1
+        self.backend.write_spare(addr, encoded, spare_programs + 1)
+        if self.cache is not None:
+            self.cache.invalidate(addr)
 
     def mark_obsolete(self, addr: int) -> None:
         """Clear the obsolete flag byte in a page's spare area (one Twrite).
@@ -310,12 +452,13 @@ class FlashChip:
         hide an FTL bookkeeping bug.
         """
         self._check_addr(addr)
-        current = self._spare[addr]
+        current = self.backend.read_spare(addr)
         if current is None:
             raise ProgramError(
                 f"cannot obsolete erased page {split_address(addr, self.spec)}"
             )
-        if self._spare_programs[addr] >= self.spec.max_spare_programs:
+        spare_programs = self.backend.spare_programs(addr)
+        if spare_programs >= self.spec.max_spare_programs:
             raise SpareProgramError(
                 f"spare area at {split_address(addr, self.spec)} exhausted its "
                 f"{self.spec.max_spare_programs} programs"
@@ -325,8 +468,9 @@ class FlashChip:
         self._clock_us += self.spec.t_write_us
         patched = bytearray(current)
         patched[1] = 0x00
-        self._spare[addr] = bytes(patched)
-        self._spare_programs[addr] += 1
+        self.backend.write_spare(addr, bytes(patched), spare_programs + 1)
+        if self.cache is not None:
+            self.cache.invalidate(addr)
 
     # ------------------------------------------------------------------
     # Erase
@@ -337,7 +481,7 @@ class FlashChip:
             raise AddressError(f"block {block} outside chip of {self.spec.n_blocks}")
         if (
             self.spec.enforce_endurance
-            and self._erase_counts[block] >= self.spec.erase_endurance
+            and self.backend.erase_count(block) >= self.spec.erase_endurance
         ):
             raise WearOutError(
                 f"block {block} exceeded endurance of {self.spec.erase_endurance}"
@@ -345,12 +489,10 @@ class FlashChip:
         self._pre_mutate("erase_block")
         self.stats.record_erase(block)
         self._clock_us += self.spec.t_erase_us
-        for addr in page_range_of_block(block, self.spec):
-            self._data[addr] = None
-            self._spare[addr] = None
-            self._data_programs[addr] = 0
-            self._spare_programs[addr] = 0
-        self._erase_counts[block] += 1
+        self.backend.erase_block(block)
+        if self.cache is not None:
+            start = block * self.spec.pages_per_block
+            self.cache.invalidate_range(start, start + self.spec.pages_per_block)
 
     # ------------------------------------------------------------------
     # Cost-free inspection (tests, assertions, recovery verification)
@@ -358,7 +500,7 @@ class FlashChip:
     def peek_data(self, addr: int) -> bytes:
         """Data area contents without charging I/O time (test/debug only)."""
         self._check_addr(addr)
-        data = self._data[addr]
+        data = self.backend.read_data(addr)
         return data if data is not None else b"\xff" * self.spec.page_data_size
 
     def peek_spare(self, addr: int) -> SpareArea:
@@ -368,30 +510,43 @@ class FlashChip:
 
     def is_page_erased(self, addr: int) -> bool:
         self._check_addr(addr)
-        return self._data[addr] is None and self._spare[addr] is None
+        return (
+            self.backend.data_programs(addr) == 0
+            and self.backend.spare_programs(addr) == 0
+        )
 
     def is_block_erased(self, block: int) -> bool:
-        return all(
-            self.is_page_erased(addr)
-            for addr in page_range_of_block(block, self.spec)
-        )
+        if not 0 <= block < self.spec.n_blocks:
+            raise AddressError(f"block {block} outside chip of {self.spec.n_blocks}")
+        return self.backend.is_block_erased(block)
 
     def erase_count(self, block: int) -> int:
         if not 0 <= block < self.spec.n_blocks:
             raise AddressError(f"block {block} outside chip of {self.spec.n_blocks}")
-        return self._erase_counts[block]
+        return self.backend.erase_count(block)
 
     def iter_programmed_pages(self) -> Iterator[int]:
         """Flat addresses of all pages with a programmed spare area."""
-        for addr, spare in enumerate(self._spare):
-            if spare is not None:
-                yield addr
+        return self.backend.iter_programmed()
+
+    # ------------------------------------------------------------------
+    # Lifecycle (persistent backends)
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Push backend state to durable media (no-op in memory)."""
+        self.backend.sync()
+
+    def close(self) -> None:
+        """Sync and release the backend; the chip is unusable afterwards."""
+        self.backend.close()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _decoded_spare(self, addr: int) -> SpareArea:
-        raw = self._spare[addr]
+        return self._decode_raw_spare(self.backend.read_spare(addr))
+
+    def _decode_raw_spare(self, raw: Optional[bytes]) -> SpareArea:
         if raw is None:
             raw = erased_spare(self.spec.page_spare_size)
         return SpareArea.decode(raw)

@@ -83,6 +83,12 @@ class FlashStats:
         self.phases: Dict[str, OpCounts] = {}
         self.block_erases: List[int] = [0] * n_blocks
         self._phase_stack: List[str] = []
+        #: Read-cache accounting (see :mod:`repro.flash.cache`): hits are
+        #: reads served from RAM — no flash operation, no Tread charge —
+        #: while misses count reads that fell through to the device (a
+        #: miss is *also* recorded as a normal read in its phase).
+        self.cache_hits: int = 0
+        self.cache_misses: int = 0
 
     # ------------------------------------------------------------------
     # Phase management
@@ -116,6 +122,13 @@ class FlashStats:
         bucket.reads += 1
         bucket.time_us += self._t_read
 
+    def record_reads(self, count: int) -> None:
+        """Charge ``count`` reads at once (batched chip entry points);
+        identical accounting to ``count`` :meth:`record_read` calls."""
+        bucket = self._bucket()
+        bucket.reads += count
+        bucket.time_us += self._t_read * count
+
     def record_write(self) -> None:
         bucket = self._bucket()
         bucket.writes += 1
@@ -126,6 +139,12 @@ class FlashStats:
         bucket.erases += 1
         bucket.time_us += self._t_erase
         self.block_erases[block] += 1
+
+    def record_cache_hit(self) -> None:
+        self.cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        self.cache_misses += 1
 
     # ------------------------------------------------------------------
     # Aggregation
@@ -166,10 +185,17 @@ class FlashStats:
         erases = [now - then for now, then in zip(self.block_erases, snap.block_erases)]
         return StatsSnapshot(phases=phases, block_erases=erases)
 
+    @property
+    def cache_hit_ratio(self) -> float:
+        accesses = self.cache_hits + self.cache_misses
+        return self.cache_hits / accesses if accesses else 0.0
+
     def reset(self) -> None:
         """Clear all counters (e.g. after loading + warm-up)."""
         self.phases.clear()
         self.block_erases = [0] * len(self.block_erases)
+        self.cache_hits = 0
+        self.cache_misses = 0
 
 
 @dataclass

@@ -130,6 +130,16 @@ class BlockManager:
         return self._active
 
     @property
+    def pages_left_in_active(self) -> int:
+        """Allocations the active block can still serve without opening a
+        new block (and therefore without any chance of triggering GC).
+        Batched writers use this to bound a batch so GC never runs while
+        staged-but-unprogrammed allocations exist."""
+        if self._active is None:
+            return 0
+        return self.spec.pages_per_block - self._next_page
+
+    @property
     def free_block_count(self) -> int:
         return len(self._free)
 

@@ -20,7 +20,7 @@ change, which is exactly the penalty of coupling the paper describes.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, NamedTuple, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from ..flash.chip import FlashChip
 from ..flash.spec import FlashSpec
@@ -108,6 +108,34 @@ class PageUpdateMethod(ABC):
 
     def end_of_load(self) -> None:
         """Hook invoked once after the initial bulk load completes."""
+
+    # ------------------------------------------------------------------
+    # Batched operations (semantically N single calls; drivers override
+    # them to reach the chip's batched entry points where they can)
+    # ------------------------------------------------------------------
+    def load_pages(self, pages: Sequence[Tuple[int, bytes]]) -> None:
+        """Bulk-load many ``(pid, data)`` pairs.
+
+        The default loops :meth:`load_page`; PDL batches the programs
+        into :meth:`repro.flash.chip.FlashChip.program_pages` calls.
+        """
+        for pid, data in pages:
+            self.load_page(pid, data)
+
+    def write_pages(
+        self,
+        pages: Sequence[Tuple[int, bytes]],
+        update_logs: Optional[Dict[int, List[ChangeRun]]] = None,
+    ) -> None:
+        """Reflect many updated logical pages (a buffer-pool flush).
+
+        ``update_logs`` maps pid → change runs for tightly-coupled
+        drivers.  The default loops :meth:`write_page`; PDL batches the
+        base-page re-reads the differential computation needs.
+        """
+        for pid, data in pages:
+            logs = update_logs.get(pid) if update_logs else None
+            self.write_page(pid, data, update_logs=logs)
 
     # ------------------------------------------------------------------
     # Shared helpers

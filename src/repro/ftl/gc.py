@@ -91,8 +91,11 @@ class GarbageCollector:
                 self.collections += 1
 
     def _reclaim(self, victim: int) -> None:
-        for addr in self.blocks.valid_pages_in(victim):
-            data, spare = self.chip.read_page(addr)
+        # One batched read for the victim's valid pages (they are
+        # contiguous runs within the block, which the file backend turns
+        # into a handful of sequential reads); same N × Tread charge.
+        addrs = self.blocks.valid_pages_in(victim)
+        for addr, (data, spare) in zip(addrs, self.chip.read_pages(addrs)):
             self.handler.relocate_page(addr, data, spare)
             self.pages_relocated += 1
         self.handler.finish_victim(victim)

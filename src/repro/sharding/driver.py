@@ -100,6 +100,36 @@ class ShardedDriver(PageUpdateMethod):
     ) -> None:
         self.shard_for(pid).write_page(pid, data, update_logs=update_logs)
 
+    def load_pages(self, pages) -> None:
+        """Bulk-load a batch by fanning it out shard-by-shard.
+
+        Each shard receives its members of the batch in order and loads
+        them through its own batched path (PDL shards program a whole
+        allocation block per chip call).
+        """
+        per_shard: Dict[int, List] = {}
+        for pid, data in pages:
+            per_shard.setdefault(self.shard_index(pid), []).append((pid, data))
+        for index, group in per_shard.items():
+            self.shards[index].load_pages(group)
+
+    def write_pages(self, pages, update_logs=None) -> None:
+        """Reflect a batch shard-by-shard (the sharded buffer-pool flush).
+
+        Pages owned by the same shard keep their relative order;
+        cross-shard order is immaterial because shards are independent
+        devices.  Each shard sees one batched call, so per-shard batching
+        (PDL's prefetched base reads) still applies.
+        """
+        per_shard: Dict[int, List] = {}
+        for pid, data in pages:
+            per_shard.setdefault(self.shard_index(pid), []).append((pid, data))
+        for index, group in per_shard.items():
+            logs = None
+            if update_logs is not None:
+                logs = {pid: update_logs[pid] for pid, _ in group if pid in update_logs}
+            self.shards[index].write_pages(group, update_logs=logs)
+
     def flush(self) -> None:
         """Write-through over the whole array (see :meth:`group_flush`)."""
         self.group_flush()
@@ -146,6 +176,19 @@ class ShardedDriver(PageUpdateMethod):
         """Erase blocks across the whole array (capacity planning, GC
         steady-state targets)."""
         return sum(shard.spec.n_blocks for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (persistent backends)
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Push every shard chip's backend to durable media."""
+        for chip in self.chips:
+            chip.sync()
+
+    def close(self) -> None:
+        """Sync and close every shard chip's backend."""
+        for chip in self.chips:
+            chip.close()
 
     def chip_clocks(self) -> List[float]:
         """Each shard chip's monotonic clock; ``max`` of window deltas is

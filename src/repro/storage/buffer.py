@@ -100,10 +100,22 @@ class BufferManager:
             self.stats.flushes += 1
 
     def flush_all(self) -> None:
-        """Write back every dirty page and the driver's own buffers."""
-        for page in self._frames.values():
-            if page.dirty:
-                self._write_back(page)
+        """Write back every dirty page and the driver's own buffers.
+
+        Dirty pages go down in one :meth:`PageUpdateMethod.write_pages`
+        call (LRU order, as before) so drivers can batch the flash I/O —
+        PDL batches the base-page re-reads its differentials need.
+        """
+        dirty = [page for page in self._frames.values() if page.dirty]
+        if dirty:
+            logs = None
+            if self.driver.tightly_coupled:
+                logs = {page.pid: page.change_log for page in dirty}
+            self.driver.write_pages(
+                [(page.pid, page.data) for page in dirty], update_logs=logs
+            )
+            for page in dirty:
+                page.clear_log()
                 self.stats.flushes += 1
         self.driver.flush()
 

@@ -11,16 +11,53 @@ The driver may just as well be a
 engine is oblivious (``Database.flush`` then performs a batched group
 flush across every shard), which is the paper's DBMS-independence
 argument extended to device-count independence.
+
+Persistence: :meth:`Database.open` binds the engine to a directory of
+:class:`~repro.flash.backend.FileBackend` images (one per shard, plus a
+small JSON manifest holding the configuration that is *deployment*
+state rather than flash state: shard count, routing kind, chip
+geometry).  Opening an existing directory reconstructs the drivers from
+the images alone via the paper's Figure-11 spare-area scan — there is
+deliberately no sidecar file of mapping tables, because the paper's
+recovery claim is that flash *is* the recovery log.  The logical
+allocation horizon is likewise re-derived from the recovered mapping
+tables (the highest recovered pid), matching the crash semantics of the
+rest of the system: pages allocated but never flushed were never
+durable and simply do not exist after a restart.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import json
+import os
+from dataclasses import asdict
+from typing import List, Optional
 
+from ..core.pdl import PdlDriver
+from ..flash.backend import BackendError, FileBackend
+from ..flash.chip import FlashChip
+from ..flash.spec import BENCH_SPEC, FlashSpec
 from ..ftl.base import PageUpdateMethod
-from ..ftl.errors import UnallocatedPageError
+from ..ftl.errors import ConfigurationError, UnallocatedPageError
 from .buffer import BufferManager, BufferStats
 from .page import Page
+
+#: Name of the per-database configuration manifest.
+MANIFEST_NAME = "manifest.json"
+
+#: On-disk manifest format version.
+MANIFEST_VERSION = 1
+
+
+def _shard_image(path: str, index: int) -> str:
+    return os.path.join(path, f"shard-{index:04d}.flash")
+
+
+def _chips_of(driver: PageUpdateMethod) -> List[FlashChip]:
+    chips = getattr(driver, "chips", None)
+    if chips is not None:
+        return list(chips)
+    return [driver.chip]
 
 
 class Database:
@@ -31,6 +68,9 @@ class Database:
         self.pool = BufferManager(driver, buffer_capacity)
         self.page_size = driver.page_size
         self._next_pid = 0
+        self._closed = False
+        #: Directory this database persists to; None for volatile setups.
+        self.path: Optional[str] = None
 
     @classmethod
     def resume(
@@ -47,6 +87,213 @@ class Database:
         db = cls(driver, buffer_capacity)
         db._next_pid = allocated_pages
         return db
+
+    # ------------------------------------------------------------------
+    # Persistent open / close
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        path: "str | os.PathLike",
+        *,
+        buffer_capacity: int = 64,
+        spec: Optional[FlashSpec] = None,
+        n_shards: Optional[int] = None,
+        max_differential_size: Optional[int] = None,
+        read_cache_pages: int = 0,
+        **driver_kwargs,
+    ) -> "Database":
+        """Open (or create) a persistent PDL database at ``path``.
+
+        ``path`` is a directory holding one
+        :class:`~repro.flash.backend.FileBackend` image per shard and a
+        JSON manifest.  When the directory has no manifest, a fresh
+        database is created from the given configuration (``spec``
+        defaults to :data:`~repro.flash.spec.BENCH_SPEC` per shard,
+        ``n_shards`` to 1, ``max_differential_size`` to the paper's 256).
+        When it does, the stored configuration wins: each shard image is
+        recovered via the Figure-11 spare-area scan and the engine
+        resumes exactly the durable state a previous process flushed.
+        Passing ``spec``/``n_shards``/``max_differential_size`` that
+        contradict the manifest raises
+        :class:`~repro.ftl.errors.ConfigurationError` rather than
+        silently reinterpreting the images.
+
+        ``read_cache_pages`` enables the per-chip LRU base-page read
+        cache; remaining keyword arguments go to the (per-shard)
+        :class:`~repro.core.pdl.PdlDriver` constructor or recovery.
+        """
+        path = os.fspath(path)
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        if os.path.exists(manifest_path):
+            return cls._open_existing(
+                path,
+                buffer_capacity,
+                spec,
+                n_shards,
+                max_differential_size,
+                read_cache_pages,
+                driver_kwargs,
+            )
+        return cls._create_new(
+            path,
+            buffer_capacity,
+            spec if spec is not None else BENCH_SPEC,
+            n_shards if n_shards is not None else 1,
+            max_differential_size if max_differential_size is not None else 256,
+            read_cache_pages,
+            driver_kwargs,
+        )
+
+    @classmethod
+    def _create_new(
+        cls,
+        path: str,
+        buffer_capacity: int,
+        spec: FlashSpec,
+        n_shards: int,
+        max_differential_size: int,
+        read_cache_pages: int,
+        driver_kwargs: dict,
+    ) -> "Database":
+        if n_shards < 1:
+            raise ConfigurationError("n_shards must be at least 1")
+        os.makedirs(path, exist_ok=True)
+        chips = []
+        for i in range(n_shards):
+            image = _shard_image(path, i)
+            if os.path.exists(image):
+                # Image without a manifest: a creation that died before
+                # the manifest write.  The database never existed; start
+                # over rather than resurrecting a half-created image.
+                os.remove(image)
+            chips.append(
+                FlashChip(
+                    spec,
+                    backend=FileBackend.create(image, spec),
+                    read_cache_pages=read_cache_pages,
+                )
+            )
+        driver = cls._assemble(
+            chips, n_shards, max_differential_size, driver_kwargs
+        )
+        manifest = {
+            "format": MANIFEST_VERSION,
+            "n_shards": n_shards,
+            "max_differential_size": max_differential_size,
+            "router": {"kind": "hash"},
+            "spec": asdict(spec),
+        }
+        with open(os.path.join(path, MANIFEST_NAME), "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+        db = cls(driver, buffer_capacity)
+        db.path = path
+        return db
+
+    @classmethod
+    def _open_existing(
+        cls,
+        path: str,
+        buffer_capacity: int,
+        spec: Optional[FlashSpec],
+        n_shards: Optional[int],
+        max_differential_size: Optional[int],
+        read_cache_pages: int,
+        driver_kwargs: dict,
+    ) -> "Database":
+        with open(os.path.join(path, MANIFEST_NAME), encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        if manifest.get("format") != MANIFEST_VERSION:
+            raise BackendError(
+                f"database at {path!r} has manifest format "
+                f"{manifest.get('format')!r}, expected {MANIFEST_VERSION}"
+            )
+        stored_shards = int(manifest["n_shards"])
+        stored_max_diff = int(manifest["max_differential_size"])
+        stored_spec = FlashSpec(**manifest["spec"])
+        router_kind = manifest.get("router", {}).get("kind")
+        if router_kind != "hash":
+            # Routing is deployment config the reopen path must honour;
+            # silently defaulting would send pids to the wrong shards.
+            raise ConfigurationError(
+                f"database at {path!r} uses router kind {router_kind!r}; "
+                "Database.open only supports 'hash' (use recover_all with "
+                "an explicit router for custom partitions)"
+            )
+        if n_shards is not None and n_shards != stored_shards:
+            raise ConfigurationError(
+                f"database at {path!r} has {stored_shards} shards, "
+                f"requested {n_shards}"
+            )
+        if max_differential_size is not None and max_differential_size != stored_max_diff:
+            raise ConfigurationError(
+                f"database at {path!r} uses Max_Differential_Size "
+                f"{stored_max_diff}, requested {max_differential_size}"
+            )
+        if spec is not None and asdict(spec) != asdict(stored_spec):
+            raise ConfigurationError(
+                f"database at {path!r} was created with a different spec"
+            )
+        chips = [
+            FlashChip(
+                stored_spec,
+                backend=FileBackend.open(_shard_image(path, i), stored_spec),
+                read_cache_pages=read_cache_pages,
+            )
+            for i in range(stored_shards)
+        ]
+        # Figure-11 recovery per shard; recover_* resumes timestamps.
+        if stored_shards == 1:
+            from ..core.recovery import recover_driver
+
+            driver, _report = recover_driver(
+                chips[0], max_differential_size=stored_max_diff, **driver_kwargs
+            )
+        else:
+            from ..sharding.recovery import recover_all
+
+            driver, _reports = recover_all(
+                chips, max_differential_size=stored_max_diff, **driver_kwargs
+            )
+        db = cls.resume(driver, buffer_capacity, _allocation_horizon(driver))
+        db.path = path
+        return db
+
+    @staticmethod
+    def _assemble(
+        chips: List[FlashChip],
+        n_shards: int,
+        max_differential_size: int,
+        driver_kwargs: dict,
+    ) -> PageUpdateMethod:
+        shards = [
+            PdlDriver(chip, max_differential_size=max_differential_size, **driver_kwargs)
+            for chip in chips
+        ]
+        if n_shards == 1:
+            return shards[0]
+        from ..sharding.driver import ShardedDriver
+
+        return ShardedDriver(shards)
+
+    def close(self) -> None:
+        """Flush everything durable, then release the device backends.
+
+        Safe to call twice.  After ``close`` the database (and its
+        driver) must not be used; reopen with :meth:`open`.
+        """
+        if self._closed:
+            return
+        self.flush()
+        for chip in _chips_of(self.driver):
+            chip.close()
+        self._closed = True
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Page management
@@ -94,3 +341,13 @@ class Database:
             f"<Database pages={self._next_pid} buffer={self.pool.capacity} "
             f"driver={self.driver.name}>"
         )
+
+
+def _allocation_horizon(driver: PageUpdateMethod) -> int:
+    """Highest recovered pid + 1: the durable logical allocation horizon."""
+    shards = getattr(driver, "shards", None) or [driver]
+    top = -1
+    for shard in shards:
+        for pid, _entry in shard.ppmt.items():
+            top = max(top, pid)
+    return top + 1

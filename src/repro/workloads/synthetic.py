@@ -67,12 +67,19 @@ class SyntheticWorkload:
     # Loading
     # ------------------------------------------------------------------
     def load(self) -> None:
-        """Populate the database with random page images."""
+        """Populate the database with random page images.
+
+        Loading goes through the driver's batched :meth:`load_pages`
+        path — the bulk-load hot path the file backend amortizes into a
+        few large writes per allocation block.
+        """
         page_size = self.driver.page_size
+        pages = []
         for pid in range(self.config.database_pages):
             data = self.rng.randbytes(page_size)
-            self.driver.load_page(pid, data)
+            pages.append((pid, data))
             self._shadow.append(data)
+        self.driver.load_pages(pages)
         self.driver.end_of_load()
 
     @property

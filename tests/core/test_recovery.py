@@ -272,3 +272,70 @@ class TestRandomizedCrashRecovery:
             new = _patched(recovered.read_page(pid), 0, b"\xAA\xBB")
             recovered.write_page(pid, new)
             assert recovered.read_page(pid) == new
+
+
+class TestTimestampResume:
+    """Recovery must resume the timestamp counter past *everything* on
+    flash — including differential-page header stamps, which are issued
+    at flush time and are strictly newer than the entries inside, and
+    stamps on stale/obsolete copies.  (Regression: the counter used to
+    resume from the adopted entries only, so post-recovery programs
+    could re-issue stamps already present on flash, violating the
+    strictly-larger invariant the adoption rules rely on.)
+    """
+
+    @staticmethod
+    def _max_stamp_on_flash(chip):
+        return max(
+            (chip.peek_spare(addr).timestamp or 0)
+            for addr in chip.iter_programmed_pages()
+        )
+
+    def test_recover_resumes_past_diff_page_header_stamp(self, tiny_spec):
+        chip, pdl = _fresh(tiny_spec)
+        pdl.load_page(0, _page(pdl))
+        pdl.write_page(0, _patched(_page(pdl), 3, b"\x01\x02"))
+        pdl.flush()  # differential page header gets the newest stamp
+        recovered, report = recover_driver(chip, max_differential_size=64)
+        top = self._max_stamp_on_flash(chip)
+        assert report.max_timestamp >= top
+        assert recovered.current_ts >= top, (
+            "post-recovery writes would reuse a stamp already on flash"
+        )
+
+    def test_post_recovery_write_gets_fresh_stamp(self, tiny_spec):
+        chip, pdl = _fresh(tiny_spec)
+        images = {pid: _page(pdl, 0x20 + pid) for pid in range(3)}
+        for pid, image in images.items():
+            pdl.load_page(pid, image)
+        for pid in images:
+            images[pid] = _patched(images[pid], 8, b"\x07\x08\x09")
+            pdl.write_page(pid, images[pid])
+        pdl.flush()
+        recovered, _ = recover_driver(chip, max_differential_size=64)
+        before = self._max_stamp_on_flash(chip)
+        images[1] = _patched(images[1], 40, b"\x55\x66")
+        recovered.write_page(1, images[1])
+        recovered.flush()
+        assert self._max_stamp_on_flash(chip) > before
+        # A second recovery must adopt the newer differential, not tie
+        # with (or lose to) a stale stamp.
+        again, _ = recover_driver(chip, max_differential_size=64)
+        assert again.read_page(1) == images[1]
+
+    def test_recover_tables_resumes_supplied_driver(self, tiny_spec):
+        from repro.core.recovery import recover_tables
+        from repro.core.tables import (
+            PhysicalPageMappingTable,
+            ValidDifferentialCountTable,
+        )
+
+        chip, pdl = _fresh(tiny_spec)
+        pdl.load_page(0, _page(pdl))
+        pdl.write_page(0, _patched(_page(pdl), 0, b"\x01"))
+        pdl.flush()
+        fresh = PdlDriver(FlashChip(tiny_spec), max_differential_size=64)
+        fresh.ppmt = PhysicalPageMappingTable()
+        fresh.vdct = ValidDifferentialCountTable()
+        report = recover_tables(chip, fresh.ppmt, fresh.vdct, driver=fresh)
+        assert fresh.current_ts == report.max_timestamp > 0

@@ -1,0 +1,232 @@
+"""Unit tests for the device-backend layer (memory + file images)."""
+
+import os
+
+import pytest
+
+from repro.flash.backend import (
+    FORMAT_VERSION,
+    BackendError,
+    FileBackend,
+    MemoryBackend,
+    _address_runs,
+)
+from repro.flash.chip import FlashChip
+from repro.flash.errors import AddressError, ProgramError, SimulatedPowerLoss
+from repro.flash.spare import PageType, SpareArea
+from repro.flash.spec import TINY_SPEC, FlashSpec
+
+SPEC = FlashSpec(n_blocks=4, pages_per_block=4, page_data_size=64, page_spare_size=16)
+
+
+def _spare(pid, ts):
+    return SpareArea(type=PageType.BASE, pid=pid, timestamp=ts).encode(
+        SPEC.page_spare_size
+    )
+
+
+@pytest.fixture(params=["memory", "file"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryBackend(SPEC)
+    else:
+        b = FileBackend(tmp_path / "chip.flash", SPEC)
+        yield b
+        b.close()
+
+
+class TestBackendContract:
+    def test_fresh_backend_is_fully_erased(self, backend):
+        for addr in range(SPEC.n_pages):
+            assert backend.read_data(addr) is None
+            assert backend.read_spare(addr) is None
+            assert backend.data_programs(addr) == 0
+        for block in range(SPEC.n_blocks):
+            assert backend.is_block_erased(block)
+            assert backend.erase_count(block) == 0
+        assert list(backend.iter_programmed()) == []
+
+    def test_program_read_roundtrip(self, backend):
+        data = bytes(range(64))
+        backend.program_page(5, data, _spare(1, 10))
+        assert backend.read_data(5) == data
+        assert backend.read_spare(5) == _spare(1, 10)
+        assert backend.data_programs(5) == 1
+        assert backend.spare_programs(5) == 1
+        assert list(backend.iter_programmed()) == [5]
+        assert not backend.is_block_erased(1)
+
+    def test_erase_resets_pages_and_counts_wear(self, backend):
+        backend.program_page(4, b"\x00" * 64, _spare(0, 1))
+        backend.program_page(5, b"\x11" * 64, _spare(1, 2))
+        backend.erase_block(1)
+        assert backend.read_data(4) is None
+        assert backend.read_spare(5) is None
+        assert backend.is_block_erased(1)
+        assert backend.erase_count(1) == 1
+        backend.erase_block(1)
+        assert backend.erase_count(1) == 2
+
+    def test_write_spare_updates_counter(self, backend):
+        backend.program_page(0, b"\x00" * 64, _spare(0, 1))
+        obsolete = bytearray(_spare(0, 1))
+        obsolete[1] = 0x00
+        backend.write_spare(0, bytes(obsolete), 2)
+        assert backend.spare_programs(0) == 2
+        assert backend.read_spare(0) == bytes(obsolete)
+        assert backend.data_programs(0) == 1  # untouched
+
+    def test_batched_reads_match_single_reads(self, backend):
+        for addr in (0, 2, 3, 9, 10, 11):
+            backend.program_page(addr, bytes([addr]) * 64, _spare(addr, addr + 1))
+        addrs = list(range(SPEC.n_pages))
+        pairs = backend.read_pages(addrs)
+        spares = backend.read_spares(addrs)
+        for addr, (data, spare), spare_only in zip(addrs, pairs, spares):
+            assert data == backend.read_data(addr)
+            assert spare == backend.read_spare(addr)
+            assert spare_only == backend.read_spare(addr)
+
+    def test_batched_program_matches_single(self, backend):
+        items = [
+            (addr, bytes([addr + 1]) * 64, _spare(addr, addr + 1))
+            for addr in (4, 5, 6, 12)  # contiguous run + a stray
+        ]
+        backend.program_pages(items)
+        for addr, data, spare in items:
+            assert backend.read_data(addr) == data
+            assert backend.read_spare(addr) == spare
+            assert backend.data_programs(addr) == 1
+
+    def test_address_validation(self, backend):
+        with pytest.raises(AddressError):
+            backend.read_data(SPEC.n_pages)
+        with pytest.raises(AddressError):
+            backend.erase_block(SPEC.n_blocks)
+
+
+class TestFileBackendPersistence:
+    def test_state_survives_close_and_reopen(self, tmp_path):
+        path = tmp_path / "chip.flash"
+        b = FileBackend(path, SPEC)
+        b.program_page(3, b"\xab" * 64, _spare(7, 42))
+        b.erase_block(3)
+        b.close()
+
+        b2 = FileBackend.open(path)
+        assert b2.read_data(3) == b"\xab" * 64
+        assert b2.read_spare(3) == _spare(7, 42)
+        assert b2.data_programs(3) == 1
+        assert b2.erase_count(3) == 1
+        assert b2.spec.n_pages == SPEC.n_pages
+        b2.close()
+
+    def test_open_missing_and_create_existing_fail(self, tmp_path):
+        with pytest.raises(BackendError):
+            FileBackend.open(tmp_path / "nope.flash")
+        path = tmp_path / "chip.flash"
+        FileBackend.create(path, SPEC).close()
+        with pytest.raises(BackendError):
+            FileBackend.create(path, SPEC)
+
+    def test_geometry_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "chip.flash"
+        FileBackend(path, SPEC).close()
+        with pytest.raises(BackendError):
+            FileBackend.open(path, TINY_SPEC)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "chip.flash"
+        path.write_bytes(b"NOTFLASH" + b"\x00" * 100)
+        with pytest.raises(BackendError):
+            FileBackend.open(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "chip.flash"
+        FileBackend(path, SPEC).close()
+        raw = bytearray(path.read_bytes())
+        raw[8] = FORMAT_VERSION + 1
+        path.write_bytes(bytes(raw))
+        with pytest.raises(BackendError):
+            FileBackend.open(path)
+
+    def test_erased_data_region_stays_sparse(self, tmp_path):
+        """Erase and creation never write the data region (the counters
+        are the truth), so a fresh image's payload is a hole."""
+        path = tmp_path / "chip.flash"
+        b = FileBackend(path, SPEC)
+        b.program_page(0, b"\x00" * 64, _spare(0, 1))
+        b.erase_block(0)
+        b.close()
+        meta_bytes = 64 + 4 * SPEC.n_blocks + 2 * SPEC.n_pages
+        assert os.path.getsize(path) > meta_bytes  # logical size is full
+        b2 = FileBackend.open(path)
+        assert b2.read_data(0) is None
+        b2.close()
+
+
+class TestAddressRuns:
+    def test_runs_are_maximal_and_ordered(self):
+        assert list(_address_runs([0, 1, 2, 5, 6, 9])) == [(0, 3), (5, 2), (9, 1)]
+        assert list(_address_runs([])) == []
+        assert list(_address_runs([3])) == [(3, 1)]
+        assert list(_address_runs([4, 2, 3])) == [(4, 1), (2, 2)]
+
+
+class TestChipOverBackends:
+    """The chip's policy must be backend-independent."""
+
+    @pytest.fixture(params=["memory", "file"])
+    def chip(self, request, tmp_path):
+        if request.param == "memory":
+            yield FlashChip(SPEC)
+        else:
+            backend = FileBackend(tmp_path / "chip.flash", SPEC)
+            chip = FlashChip(SPEC, backend=backend)
+            yield chip
+            chip.close()
+
+    def test_nand_overwrite_rule_enforced(self, chip):
+        chip.program_page(0, b"\x01" * 64, SpareArea(type=PageType.BASE, pid=0))
+        with pytest.raises(ProgramError):
+            chip.program_page(0, b"\x02" * 64, SpareArea(type=PageType.BASE, pid=0))
+
+    def test_batched_program_crash_persists_prefix(self, chip):
+        chip.crash_after(2)
+        items = [
+            (addr, bytes([addr + 1]) * 64, SpareArea(type=PageType.BASE, pid=addr))
+            for addr in range(4)
+        ]
+        with pytest.raises(SimulatedPowerLoss):
+            chip.program_pages(items)
+        # Exactly the two admitted pages are on flash.
+        assert chip.peek_data(0) == b"\x01" * 64
+        assert chip.peek_data(1) == b"\x02" * 64
+        assert chip.is_page_erased(2)
+        assert chip.is_page_erased(3)
+        assert chip.stats.totals().writes == 2
+
+    def test_batched_duplicate_address_rejected(self, chip):
+        spare = SpareArea(type=PageType.BASE, pid=0)
+        with pytest.raises(ProgramError):
+            chip.program_pages(
+                [(0, b"\x01" * 64, spare), (0, b"\x02" * 64, spare)]
+            )
+
+    def test_batched_reads_charge_per_page(self, chip):
+        spare = SpareArea(type=PageType.BASE, pid=0, timestamp=1)
+        chip.program_pages([(a, bytes([a]) * 64, spare) for a in range(3)])
+        before = chip.stats.totals().reads
+        pages = chip.read_pages([0, 1, 2])
+        spares = chip.read_spares(range(SPEC.n_pages))
+        assert chip.stats.totals().reads == before + 3 + SPEC.n_pages
+        assert [d[:1] for d, _ in pages] == [b"\x00", b"\x01", b"\x02"]
+        assert sum(1 for s in spares if not s.is_erased) == 3
+
+    def test_spec_backend_geometry_mismatch_rejected(self, tmp_path):
+        backend = FileBackend(tmp_path / "chip.flash", SPEC)
+        try:
+            with pytest.raises(ValueError):
+                FlashChip(TINY_SPEC, backend=backend)
+        finally:
+            backend.close()

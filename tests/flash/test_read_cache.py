@@ -1,0 +1,144 @@
+"""The LRU base-page read cache: hits, misses, invalidation, accounting."""
+
+import pytest
+
+from repro.flash.cache import ReadCache
+from repro.flash.chip import FlashChip
+from repro.flash.spare import PageType, SpareArea
+from repro.flash.spec import FlashSpec
+
+SPEC = FlashSpec(n_blocks=4, pages_per_block=4, page_data_size=64, page_spare_size=16)
+
+
+def _base(pid, ts=1):
+    return SpareArea(type=PageType.BASE, pid=pid, timestamp=ts)
+
+
+def _loaded_chip(read_cache_pages=2):
+    chip = FlashChip(SPEC, read_cache_pages=read_cache_pages)
+    for addr in range(4):
+        chip.program_page(addr, bytes([addr]) * 64, _base(addr))
+    return chip
+
+
+class TestReadCacheUnit:
+    def test_lru_eviction(self):
+        cache = ReadCache(2)
+        s = _base(0)
+        cache.put(0, b"a", s)
+        cache.put(1, b"b", s)
+        cache.get(0)  # 0 becomes MRU
+        cache.put(2, b"c", s)  # evicts 1
+        assert 0 in cache and 2 in cache and 1 not in cache
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReadCache(0)
+
+    def test_invalidate_range(self):
+        cache = ReadCache(8)
+        for addr in range(6):
+            cache.put(addr, b"x", _base(addr))
+        cache.invalidate_range(2, 5)
+        assert sorted(a for a in range(6) if a in cache) == [0, 1, 5]
+
+
+class TestChipReadCache:
+    def test_disabled_by_default(self):
+        chip = FlashChip(SPEC)
+        assert chip.cache is None
+        chip.program_page(0, b"\x00" * 64, _base(0))
+        chip.read_page(0)
+        assert chip.stats.cache_hits == 0 and chip.stats.cache_misses == 0
+
+    def test_hit_skips_tread_and_is_counted(self):
+        chip = _loaded_chip()
+        data1, spare1 = chip.read_page(0)  # miss: charged
+        reads_after_miss = chip.stats.totals().reads
+        clock_after_miss = chip.clock_us
+        data2, spare2 = chip.read_page(0)  # hit: free
+        assert (data1, spare1) == (data2, spare2)
+        assert chip.stats.totals().reads == reads_after_miss
+        assert chip.clock_us == clock_after_miss
+        assert chip.stats.cache_hits == 1
+        assert chip.stats.cache_misses == 1
+        assert chip.stats.cache_hit_ratio == 0.5
+
+    def test_results_identical_with_and_without_cache(self):
+        plain = FlashChip(SPEC)
+        cached = _loaded_chip(read_cache_pages=3)
+        for addr in range(4):
+            plain.program_page(addr, bytes([addr]) * 64, _base(addr))
+        for addr in [0, 1, 0, 2, 3, 0, 1]:
+            assert plain.read_page(addr) == cached.read_page(addr)
+
+    def test_program_and_obsolete_invalidate(self):
+        chip = _loaded_chip()
+        chip.read_page(0)
+        chip.mark_obsolete(0)
+        _data, spare = chip.read_page(0)
+        assert spare.obsolete  # stale cached copy was dropped
+        assert chip.stats.cache_misses == 2
+
+    def test_erase_invalidates_whole_block(self):
+        chip = _loaded_chip(read_cache_pages=4)
+        chip.read_page(0)
+        chip.read_page(1)
+        chip.erase_block(0)
+        data, spare = chip.read_page(0)
+        assert spare.is_erased
+        assert data == b"\xff" * 64
+
+    def test_only_base_pages_are_admitted(self):
+        chip = FlashChip(SPEC, read_cache_pages=4)
+        chip.program_page(
+            0, b"\x01" * 64, SpareArea(type=PageType.DIFFERENTIAL, timestamp=1)
+        )
+        chip.program_page(1, b"\x02" * 64, _base(1))
+        chip.read_page(0)
+        chip.read_page(1)
+        assert 0 not in chip.cache
+        assert 1 in chip.cache
+
+    def test_stats_reset_clears_cache_counters(self):
+        chip = _loaded_chip()
+        chip.read_page(0)
+        chip.read_page(0)
+        chip.stats.reset()
+        assert chip.stats.cache_hits == 0
+        assert chip.stats.cache_misses == 0
+
+
+class TestCachedPdlEquivalence:
+    def test_pdl_reads_identical_with_cache(self):
+        """A cached driver must serve exactly the bytes an uncached one
+        does across a write-heavy window (invalidations included)."""
+        import random
+
+        from repro.core.pdl import PdlDriver
+
+        spec = FlashSpec(
+            n_blocks=8, pages_per_block=8, page_data_size=256, page_spare_size=16
+        )
+        plain = PdlDriver(FlashChip(spec), max_differential_size=64)
+        cached = PdlDriver(
+            FlashChip(spec, read_cache_pages=8), max_differential_size=64
+        )
+        rng = random.Random(7)
+        images = {}
+        for pid in range(6):
+            img = rng.randbytes(256)
+            images[pid] = img
+            plain.load_page(pid, img)
+            cached.load_page(pid, img)
+        for _ in range(120):
+            pid = rng.randrange(6)
+            img = bytearray(images[pid])
+            off = rng.randrange(232)
+            img[off : off + 24] = rng.randbytes(24)
+            images[pid] = bytes(img)
+            plain.write_page(pid, images[pid])
+            cached.write_page(pid, images[pid])
+            check = rng.randrange(6)
+            assert plain.read_page(check) == cached.read_page(check) == images[check]
+        assert cached.chip.stats.cache_hits > 0

@@ -1,0 +1,139 @@
+"""Restart durability across a REAL process boundary.
+
+The crash matrix (test_crash_matrix.py) proves recovery is correct for
+every in-process crash point, but the chip state it recovers from lives
+in the same Python process.  These tests extend the same guarantee
+across ``os._exit``: a child process opens a :class:`Database` on a
+:class:`~repro.flash.backend.FileBackend` directory, writes and flushes
+a deterministic workload, then dies without any shutdown path — no
+``close()``, no atexit, no GC finalizers.  The parent reopens the
+directory and must read back, bit-exact, every image the child reported
+durable, for a single-chip database and a sharded one alike.
+
+The child communicates what it made durable via stdout (pid → sha256 of
+the flushed image), so the assertion is against what the *child*
+observed, not a parent-side re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.flash.spec import FlashSpec
+from repro.storage.db import Database
+
+SPEC_KW = dict(n_blocks=12, pages_per_block=8, page_data_size=256, page_spare_size=16)
+SPEC = FlashSpec(**SPEC_KW)
+N_PAGES = 10
+SEED = 20100121
+
+# The child writes + flushes, reports digests, then hard-exits.  It
+# deliberately leaves some un-flushed dirty state behind so the test
+# also proves the *absence* of accidental durability: those writes must
+# be gone after the restart.
+CHILD_SCRIPT = """
+import hashlib, json, os, random, sys
+
+from repro.flash.spec import FlashSpec
+from repro.storage.db import Database
+
+path = sys.argv[1]
+n_shards = int(sys.argv[2])
+spec = FlashSpec(**{spec_kw!r})
+rng = random.Random({seed})
+
+db = Database.open(path, spec=spec, n_shards=n_shards,
+                   max_differential_size=64, buffer_capacity=4)
+images = {{}}
+for _ in range({n_pages}):
+    page = db.allocate_page()
+    data = rng.randbytes(spec.page_data_size)
+    page.write(0, data)
+    images[page.pid] = data
+db.flush()
+for pid in (0, 3, 7):
+    page = db.page(pid)
+    patch = rng.randbytes(32)
+    page.write(64, patch)
+    img = bytearray(images[pid]); img[64:96] = patch
+    images[pid] = bytes(img)
+db.flush()
+durable = {{pid: hashlib.sha256(img).hexdigest() for pid, img in images.items()}}
+# Dirty, never-flushed writes: must NOT survive the restart.
+page = db.page(1)
+page.write(0, b"\\x00" * spec.page_data_size)
+print(json.dumps({{"durable": durable, "allocated": db.allocated_pages}}))
+sys.stdout.flush()
+os._exit(9)   # no close(), no interpreter shutdown
+"""
+
+
+def _run_child(tmp_path, n_shards: int) -> dict:
+    script = CHILD_SCRIPT.format(spec_kw=SPEC_KW, seed=SEED, n_pages=N_PAGES)
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", script, str(tmp_path), str(n_shards)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 9, f"child failed:\n{proc.stderr}"
+    return json.loads(proc.stdout)
+
+
+@pytest.mark.parametrize("n_shards", [1, 3])
+def test_flushed_state_survives_process_death(tmp_path, n_shards):
+    import hashlib
+
+    report = _run_child(tmp_path, n_shards)
+    db = Database.open(tmp_path)
+    try:
+        assert db.allocated_pages == report["allocated"]
+        # The reopened driver really is the requested topology.
+        n_chips = len(getattr(db.driver, "chips", [None]))
+        assert n_chips == n_shards
+        for pid_str, digest in report["durable"].items():
+            got = db.page(int(pid_str)).data
+            assert hashlib.sha256(got).hexdigest() == digest, (
+                f"pid {pid_str} lost or corrupted across restart"
+            )
+    finally:
+        db.close()
+
+
+def test_reopened_database_remains_writable(tmp_path):
+    """Recovery must hand back a fully operational engine (and a second
+    restart must then see the post-restart writes)."""
+    _run_child(tmp_path, 1)
+    db = Database.open(tmp_path)
+    page = db.page(2)
+    page.write(10, b"post-restart write")
+    db.flush()
+    db.close()
+
+    db2 = Database.open(tmp_path)
+    try:
+        assert db2.page(2).read(10, 18) == b"post-restart write"
+    finally:
+        db2.close()
+
+
+def test_open_rejects_mismatched_configuration(tmp_path):
+    from repro.ftl.errors import ConfigurationError
+
+    db = Database.open(tmp_path, spec=SPEC, n_shards=2, max_differential_size=64)
+    db.close()
+    with pytest.raises(ConfigurationError):
+        Database.open(tmp_path, n_shards=4)
+    with pytest.raises(ConfigurationError):
+        Database.open(tmp_path, max_differential_size=256)
+    with pytest.raises(ConfigurationError):
+        Database.open(tmp_path, spec=FlashSpec(**{**SPEC_KW, "n_blocks": 13}))

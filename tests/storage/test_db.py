@@ -84,3 +84,85 @@ class TestShardedDatabase:
         # traffic really spread over the chips
         busy = [chip for chip in chips if chip.stats.totals().writes > 0]
         assert len(busy) >= 2
+
+
+class TestPersistentOpen:
+    """Database.open/close over FileBackend images (in-process reopen;
+    cross-process death is covered by test_restart_durability)."""
+
+    SPEC = FlashSpec(
+        n_blocks=12, pages_per_block=8, page_data_size=256, page_spare_size=16
+    )
+
+    def _populate(self, db, n=8):
+        images = {}
+        for _ in range(n):
+            page = db.allocate_page()
+            data = bytes([page.pid + 1]) * db.page_size
+            page.write(0, data)
+            images[page.pid] = data
+        db.flush()
+        return images
+
+    def test_create_reopen_roundtrip(self, tmp_path):
+        with Database.open(
+            tmp_path, spec=self.SPEC, max_differential_size=64, buffer_capacity=4
+        ) as db:
+            images = self._populate(db)
+        with Database.open(tmp_path) as db2:
+            assert db2.allocated_pages == len(images)
+            for pid, data in images.items():
+                assert db2.page(pid).data == data
+
+    def test_reopen_restores_allocation_horizon(self, tmp_path):
+        with Database.open(
+            tmp_path, spec=self.SPEC, max_differential_size=64, buffer_capacity=4
+        ) as db:
+            self._populate(db, n=5)
+        with Database.open(tmp_path) as db2:
+            with pytest.raises(UnallocatedPageError):
+                db2.page(5)
+            page = db2.allocate_page()
+            assert page.pid == 5  # allocation continues after the horizon
+
+    def test_sharded_database_uses_one_image_per_shard(self, tmp_path):
+        with Database.open(
+            tmp_path,
+            spec=self.SPEC,
+            n_shards=3,
+            max_differential_size=64,
+            buffer_capacity=4,
+        ) as db:
+            self._populate(db, n=9)
+        images = sorted(p.name for p in tmp_path.glob("shard-*.flash"))
+        assert images == ["shard-0000.flash", "shard-0001.flash", "shard-0002.flash"]
+        with Database.open(tmp_path) as db2:
+            assert db2.driver.n_shards == 3
+            for pid in range(9):
+                assert db2.page(pid).data == bytes([pid + 1]) * db2.page_size
+
+    def test_close_is_idempotent_and_reopenable(self, tmp_path):
+        db = Database.open(
+            tmp_path, spec=self.SPEC, max_differential_size=64, buffer_capacity=4
+        )
+        self._populate(db, n=3)
+        db.close()
+        db.close()  # second close is a no-op
+        with Database.open(tmp_path) as db2:
+            assert db2.allocated_pages == 3
+
+    def test_read_cache_reaches_the_chips(self, tmp_path):
+        with Database.open(
+            tmp_path,
+            spec=self.SPEC,
+            max_differential_size=64,
+            buffer_capacity=2,
+            read_cache_pages=16,
+        ) as db:
+            self._populate(db, n=6)
+            # Tiny pool forces flash reads; the chip cache absorbs some.
+            for pid in (0, 1, 2, 3) * 6:
+                db.page(pid)
+            chip = db.driver.chip
+            assert chip.cache is not None
+            assert chip.stats.cache_hits > 0
