@@ -1,0 +1,205 @@
+"""GC benchmark: write-stall tail latency and erases across GC configs.
+
+The paper amortizes all reclamation into the write path (Figure 12(b)):
+when the free pool empties, one unlucky write absorbs a whole
+stop-the-world collection cycle.  This benchmark measures what that
+costs on a skewed hot/cold update workload — 90% of updates hit 10% of
+the pages, the shape "heavy traffic from millions of users" actually
+has — and what the incremental space-management subsystem buys back:
+
+* **p99 / max write stall** (simulated us of GC work a single write
+  absorbed): the tail incremental reclamation exists to shrink;
+* **total erases**: the wear cost — incremental GC with hot/cold
+  separation must not erase more than the stop-the-world baseline;
+* **pages relocated**: the GC write amplification behind the erases.
+
+Configurations: the stop-the-world greedy baseline, incremental greedy
+with and without hot/cold separation, and the cost-benefit (``cb``) and
+wear-aware (``wear``) victim policies from the registry.
+
+Runs standalone for CI smoke checks::
+
+    python benchmarks/bench_gc.py --tiny
+
+or under pytest-benchmark like the other experiments::
+
+    python -m pytest benchmarks/bench_gc.py -q
+"""
+
+import random
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.reporting import ResultTable  # noqa: E402
+from repro.core.pdl import PdlDriver  # noqa: E402
+from repro.flash.chip import FlashChip  # noqa: E402
+from repro.flash.spec import FlashSpec  # noqa: E402
+from repro.ftl.gc import GcConfig  # noqa: E402
+
+FULL_SPEC = FlashSpec(
+    n_blocks=64, pages_per_block=32, page_data_size=256, page_spare_size=16
+)
+TINY_SPEC_BENCH = FlashSpec(
+    n_blocks=32, pages_per_block=32, page_data_size=256, page_spare_size=16
+)
+
+FULL_UPDATES = 12_000
+TINY_UPDATES = 4_000
+
+#: Fraction of chip pages holding the database (diff pages need the rest).
+FILL = 0.55
+
+#: Skew: this share of updates goes to a tenth of the pages.
+HOT_FRACTION = 0.9
+
+SEED = 20100111
+
+#: Per-write relocation budget of the incremental configurations.  One
+#: page per write is the classic 1:1 pacing: the smallest stall quantum,
+#: and lazy enough that hot victim pages often die before they are moved.
+STEPS = 1
+
+CONFIGS = (
+    ("stop-the-world", GcConfig()),
+    ("incremental", GcConfig(incremental_steps=STEPS)),
+    ("incremental+hc", GcConfig(incremental_steps=STEPS, hot_cold=True)),
+    ("inc+hc gc=cb", GcConfig(policy="cb", incremental_steps=STEPS, hot_cold=True)),
+    ("inc+hc gc=wear", GcConfig(policy="wear", incremental_steps=STEPS, hot_cold=True)),
+)
+
+
+def _run_workload(spec, config, n_updates):
+    """One deterministic skewed-update run; returns the metrics dict."""
+    chip = FlashChip(spec)
+    driver = PdlDriver(chip, max_differential_size=256, gc_config=config)
+    rng = random.Random(SEED)
+    page = spec.page_data_size
+    n_pages = int(spec.n_pages * FILL)
+    driver.load_pages((pid, rng.randbytes(page)) for pid in range(n_pages))
+    model = {pid: driver.read_page(pid) for pid in range(n_pages)}
+    hot_pages = max(1, n_pages // 10)
+    chip.stats.reset()  # steady-state window: loading is not measured
+    for i in range(n_updates):
+        if rng.random() < HOT_FRACTION:
+            pid = rng.randrange(hot_pages)
+        else:
+            pid = rng.randrange(n_pages)
+        image = bytearray(model[pid])
+        # Mostly small patches (differential traffic) with an occasional
+        # near-full rewrite that takes Case 3 and churns base pages.
+        roll = rng.random()
+        n = 8 if roll < 0.4 else 24 if roll < 0.7 else 48 if roll < 0.9 else 240
+        offset = rng.randrange(page - n)
+        image[offset : offset + n] = rng.randbytes(n)
+        model[pid] = bytes(image)
+        driver.write_page(pid, model[pid])
+        if i % 64 == 63:
+            driver.flush()
+    for pid in rng.sample(sorted(model), min(128, n_pages)):
+        assert driver.read_page(pid) == model[pid], f"pid {pid} corrupted"
+    stats = chip.stats
+    return {
+        "p99_stall_us": stats.write_stall_percentile(99),
+        "max_stall_us": stats.max_write_stall_us,
+        "erases": stats.total_erases,
+        "pages_relocated": driver.gc.pages_relocated,
+        "gc_steps": stats.gc_steps,
+        "io_time_ms": stats.total_time_us / 1000.0,
+    }
+
+
+def run_gc_bench(spec, n_updates):
+    table = ResultTable(
+        experiment="gc",
+        title="GC configs on a 90/10 skewed update workload",
+        columns=(
+            "config",
+            "p99_stall_us",
+            "max_stall_us",
+            "erases",
+            "pages_relocated",
+            "gc_steps",
+            "io_time_ms",
+        ),
+    )
+    results = {}
+    for label, config in CONFIGS:
+        metrics = _run_workload(spec, config, n_updates)
+        results[label] = metrics
+        table.add_row(
+            label,
+            metrics["p99_stall_us"],
+            metrics["max_stall_us"],
+            metrics["erases"],
+            metrics["pages_relocated"],
+            metrics["gc_steps"],
+            metrics["io_time_ms"],
+        )
+    base = results["stop-the-world"]
+    best = results["incremental+hc"]
+    table.note(
+        f"incremental+hc: p99 stall x{base['p99_stall_us'] / best['p99_stall_us']:.1f} "
+        f"lower, erases {best['erases']} vs {base['erases']} stop-the-world"
+    )
+    return table, results
+
+
+def check_incremental_wins(results):
+    """Acceptance: every incremental config cuts the p99 write stall, and
+    hot/cold incremental reclamation does not cost extra erases."""
+    base = results["stop-the-world"]
+    assert base["gc_steps"] == 0, "baseline must not take incremental steps"
+    for label, metrics in results.items():
+        if label == "stop-the-world":
+            continue
+        assert metrics["gc_steps"] > 0, f"{label} never stepped incrementally"
+        assert metrics["p99_stall_us"] < base["p99_stall_us"], (
+            f"{label}: p99 stall {metrics['p99_stall_us']} not below "
+            f"stop-the-world's {base['p99_stall_us']}"
+        )
+    for label in ("incremental+hc", "inc+hc gc=cb"):
+        assert results[label]["erases"] <= base["erases"], (
+            f"{label}: {results[label]['erases']} erases exceed "
+            f"stop-the-world's {base['erases']}"
+        )
+
+
+def test_gc_policies(benchmark):
+    table, results = benchmark.pedantic(
+        lambda: run_gc_bench(TINY_SPEC_BENCH, TINY_UPDATES),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(table.render())
+    table.save()
+    check_incremental_wins(results)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="seconds-long smoke run (CI): 32-block chip, 4k updates",
+    )
+    args = parser.parse_args(argv)
+    spec = TINY_SPEC_BENCH if args.tiny else FULL_SPEC
+    updates = TINY_UPDATES if args.tiny else FULL_UPDATES
+    table, results = run_gc_bench(spec, updates)
+    print(table.render())
+    print(f"saved: {table.save()}")
+    check_incremental_wins(results)
+    print("incremental-GC check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -64,6 +64,7 @@ from .flash.chip import CrashPoint
 from .flash.errors import SimulatedPowerLoss
 from .ftl import (
     ChangeRun,
+    GcConfig,
     IplDriver,
     IpuDriver,
     OpuDriver,
@@ -71,6 +72,9 @@ from .ftl import (
     PageUpdateMethod,
     UnknownPageError,
     apply_runs,
+    make_victim_policy,
+    register_victim_policy,
+    victim_policy_names,
 )
 from .ftl.errors import UnallocatedPageError
 from .methods import (
@@ -78,6 +82,7 @@ from .methods import (
     PAPER_METHODS_NO_IPU,
     make_method,
     method_labels,
+    parse_gc_label,
     parse_sharded_label,
     sharded_labels,
 )
@@ -105,6 +110,7 @@ __all__ = [
     "FlashChip",
     "FlashSpec",
     "FlashStats",
+    "GcConfig",
     "HashRouter",
     "MemoryBackend",
     "ReadCache",
@@ -133,11 +139,15 @@ __all__ = [
     "compute_runs",
     "make_method",
     "make_router",
+    "make_victim_policy",
     "method_labels",
+    "parse_gc_label",
     "parse_sharded_label",
     "recover_all",
     "recover_driver",
+    "register_victim_policy",
     "sharded_labels",
     "spec_for_database",
+    "victim_policy_names",
     "__version__",
 ]

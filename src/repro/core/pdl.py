@@ -30,10 +30,10 @@ from typing import List, Optional
 from ..flash.chip import FlashChip
 from ..flash.spare import PageType, SpareArea
 from ..flash.stats import READ_STEP, WRITE_STEP
-from ..ftl.allocator import BlockManager
+from ..ftl.allocator import COLD_STREAM, HOT_STREAM, BlockManager
 from ..ftl.base import ChangeRun, PageUpdateMethod
 from ..ftl.errors import UnknownPageError
-from ..ftl.gc import GarbageCollector, VictimPolicy, greedy_policy
+from ..ftl.gc import GarbageCollector, GcConfig, VictimPolicy
 from .differential import (
     DEFAULT_COALESCE_GAP,
     DEFAULT_DIFF_UNIT,
@@ -66,8 +66,9 @@ class PdlDriver(PageUpdateMethod):
         diff_unit: "int | None" = DEFAULT_DIFF_UNIT,
         coalesce_gap: int = DEFAULT_COALESCE_GAP,
         reserve_blocks: int = 2,
-        victim_policy: VictimPolicy = greedy_policy,
+        victim_policy: Optional[VictimPolicy] = None,
         checkpoint_region_blocks: int = 0,
+        gc_config: Optional[GcConfig] = None,
     ):
         super().__init__(chip)
         if max_differential_size <= 0:
@@ -77,12 +78,23 @@ class PdlDriver(PageUpdateMethod):
         self.diff_unit = diff_unit
         self.coalesce_gap = coalesce_gap
         self.checkpoint_region_blocks = checkpoint_region_blocks
+        self.gc_config = gc_config if gc_config is not None else GcConfig()
+        if victim_policy is None and self.gc_config.policy != "greedy":
+            self.name += f" gc={self.gc_config.policy}"
         self.blocks = BlockManager(
             chip,
             reserve_blocks=reserve_blocks,
             exclude_blocks=checkpoint_region_blocks,
         )
-        self.gc = GarbageCollector(chip, self.blocks, handler=self, policy=victim_policy)
+        self.gc = GarbageCollector(
+            chip, self.blocks, handler=self, policy=victim_policy,
+            config=self.gc_config,
+        )
+        # Hot/cold separation: differential pages churn (hot) while base
+        # pages persist (cold); giving each its own active block keeps
+        # victims garbage-dense and cuts compaction's relocation volume.
+        self._base_stream = COLD_STREAM
+        self._diff_stream = HOT_STREAM if self.gc_config.hot_cold else COLD_STREAM
         self.ppmt = PhysicalPageMappingTable()
         self.vdct = ValidDifferentialCountTable()
         buffer_capacity = self.page_size - PAGE_HEADER_SIZE
@@ -93,6 +105,12 @@ class PdlDriver(PageUpdateMethod):
         # take Case 3 exactly as the paper describes.
         self.effective_max = min(max_differential_size, buffer_capacity)
         self._gc_buffer = DifferentialWriteBuffer(buffer_capacity)
+        #: Differential pages of the in-flight GC victim whose vdct rows
+        #: were dropped wholesale at relocation time.  With incremental
+        #: GC, ordinary writes run between relocation and the victim's
+        #: erase; a write superseding one of those differentials must not
+        #: decrement the (already removed) count again.
+        self._gc_victim_diffs: set = set()
         self._ts = 0
         # Counters for experiments and tests (Case 1/2/3 frequencies).
         self.case_counts = {1: 0, 2: 0, 3: 0}
@@ -122,7 +140,7 @@ class PdlDriver(PageUpdateMethod):
             raise ValueError(f"logical page {pid} already loaded")
         with self.stats.phase("load"):
             ts = self._next_ts()
-            addr = self.blocks.allocate()
+            addr = self.blocks.allocate(stream=self._base_stream)
             spare = SpareArea(type=PageType.BASE, pid=pid, timestamp=ts)
             self.chip.program_page(addr, data, spare)
             self.blocks.note_valid(addr)
@@ -155,15 +173,21 @@ class PdlDriver(PageUpdateMethod):
         makes it DBMS-independent.
         """
         self._check_page(pid, data)
-        entry = self.ppmt.get(pid)
         with self.stats.phase(WRITE_STEP):
-            if entry is None:
-                # First write of an unloaded page: becomes a fresh base.
-                self._program_base(pid, data)
-                return
-            # Step 1: read the base page.
-            base, _spare = self.chip.read_page(entry.base_addr)
-            self._reflect(pid, data, base)
+            self.gc.on_write_begin()
+            try:
+                # Mapping lookups run after the incremental GC step:
+                # relocation may have just moved this page's base.
+                entry = self.ppmt.get(pid)
+                if entry is None:
+                    # First write of an unloaded page: a fresh base.
+                    self._program_base(pid, data)
+                    return
+                # Step 1: read the base page.
+                base, _spare = self.chip.read_page(entry.base_addr)
+                self._reflect(pid, data, base)
+            finally:
+                self.gc.on_write_end()
 
     def _reflect(self, pid: int, data: bytes, base: bytes) -> None:
         """Steps 2–3 of PDL_Writing, given the (pre-read) base image."""
@@ -200,7 +224,15 @@ class PdlDriver(PageUpdateMethod):
     def flush(self) -> None:
         """Write-through (Section 4.5): force the write buffer to flash."""
         with self.stats.phase(WRITE_STEP):
-            self._flush_buffer()
+            # A flush is a write-path entry point: it paces incremental
+            # steps and meters any GC it absorbs (its buffer-flush
+            # allocation can invoke the backstop) as a stall sample, so
+            # the stall histogram misses no collection on the write path.
+            self.gc.on_write_begin()
+            try:
+                self._flush_buffer()
+            finally:
+                self.gc.on_write_end()
 
     # ------------------------------------------------------------------
     # Batched entry points
@@ -232,10 +264,10 @@ class PdlDriver(PageUpdateMethod):
                 if pid in self.ppmt or pid in staged_pids:
                     commit()
                     raise ValueError(f"logical page {pid} already loaded")
-                if self.blocks.pages_left_in_active == 0:
+                if self.blocks.pages_left(self._base_stream) == 0:
                     commit()
                 ts = self._next_ts()
-                addr = self.blocks.allocate()
+                addr = self.blocks.allocate(stream=self._base_stream)
                 spare = SpareArea(type=PageType.BASE, pid=pid, timestamp=ts)
                 staged.append((addr, data, spare, pid, ts))
                 staged_pids.add(pid)
@@ -274,17 +306,21 @@ class PdlDriver(PageUpdateMethod):
                     pid: data for (pid, _), (data, _spare) in zip(mapped, images)
                 }
             for pid, data in pages:
-                if pid not in bases:
-                    self._program_base(pid, data)
-                else:
-                    self._reflect(pid, data, bases[pid])
+                self.gc.on_write_begin()
+                try:
+                    if pid not in bases:
+                        self._program_base(pid, data)
+                    else:
+                        self._reflect(pid, data, bases[pid])
+                finally:
+                    self.gc.on_write_end()
 
     # ------------------------------------------------------------------
     # Writing paths
     # ------------------------------------------------------------------
     def _program_base(self, pid: int, data: bytes) -> None:
         ts = self._next_ts()
-        addr = self.blocks.allocate()
+        addr = self.blocks.allocate(stream=self._base_stream)
         self.chip.program_page(
             addr, data, SpareArea(type=PageType.BASE, pid=pid, timestamp=ts)
         )
@@ -300,7 +336,7 @@ class PdlDriver(PageUpdateMethod):
         copies.
         """
         ts = self._next_ts()
-        addr = self.blocks.allocate()
+        addr = self.blocks.allocate(stream=self._base_stream)
         entry = self.ppmt.require(pid)
         old_base = entry.base_addr
         old_diff = entry.diff_addr
@@ -312,6 +348,7 @@ class PdlDriver(PageUpdateMethod):
         self.chip.mark_obsolete(old_base)
         self.blocks.note_invalid(old_base)
         self.buffer.remove(pid)
+        self._gc_buffer.remove(pid)  # a staged compaction copy is now stale
         if old_diff is not None:
             self._drop_diff_ref(old_diff)
 
@@ -321,7 +358,7 @@ class PdlDriver(PageUpdateMethod):
             return
         diffs = self.buffer.drain()
         payload = encode_differential_page(diffs, self.page_size)
-        addr = self.blocks.allocate()
+        addr = self.blocks.allocate(stream=self._diff_stream)
         spare = SpareArea(type=PageType.DIFFERENTIAL, timestamp=self._next_ts())
         self.chip.program_page(addr, payload, spare)
         self.blocks.note_valid(addr)
@@ -332,9 +369,21 @@ class PdlDriver(PageUpdateMethod):
                 self._drop_diff_ref(entry.diff_addr)
             entry.diff_addr = addr
             self.vdct.increment(addr)
+            # A compaction copy staged from the in-flight GC victim is
+            # superseded by this flush; flushing it later would re-point
+            # the entry back at stale data.
+            self._gc_buffer.remove(diff.pid)
 
     def _drop_diff_ref(self, addr: int) -> None:
-        """decreaseValidDifferentialCount (Figure 8)."""
+        """decreaseValidDifferentialCount (Figure 8).
+
+        Differential pages of the in-flight GC victim had their count
+        rows removed wholesale when compaction picked them up; the page
+        dies with the victim's erase, so there is nothing to decrement
+        or obsolete here.
+        """
+        if addr in self._gc_victim_diffs:
+            return
         if self.vdct.decrement(addr):
             self.chip.mark_obsolete(addr)
             self.blocks.note_invalid(addr)
@@ -347,13 +396,14 @@ class PdlDriver(PageUpdateMethod):
             pid = spare.pid
             if pid is None or self.ppmt.require(pid).base_addr != addr:
                 raise UnknownPageError(f"GC found unmapped valid base page at {addr}")
-            new = self.blocks.allocate(for_gc=True)
+            new = self.blocks.allocate(for_gc=True, stream=self._base_stream)
             self.chip.program_page(new, data, spare)  # timestamp preserved
             self.blocks.note_valid(new)
             self.ppmt.move_base(pid, new)
         elif spare.type is PageType.DIFFERENTIAL:
             # Compaction: keep only still-valid differentials.
             self.vdct.remove(addr)
+            self._gc_victim_diffs.add(addr)
             for diff in decode_differential_page(data):
                 entry = self.ppmt.get(diff.pid)
                 if entry is None or entry.diff_addr != addr:
@@ -372,13 +422,18 @@ class PdlDriver(PageUpdateMethod):
     def finish_victim(self, block: int) -> None:
         """Flush compacted differentials before the victim is erased."""
         self._flush_gc_buffer()
+        self._gc_victim_diffs.clear()
 
     def _flush_gc_buffer(self) -> None:
         if self._gc_buffer.is_empty:
             return
         diffs = self._gc_buffer.drain()
         payload = encode_differential_page(diffs, self.page_size)
-        addr = self.blocks.allocate(for_gc=True)
+        # Generational promotion: a differential that survived a whole
+        # collection belongs to a cold page (hot pages' differentials die
+        # before GC reaches them), so compacted pages go to the cold
+        # stream rather than back among the fast-churning fresh ones.
+        addr = self.blocks.allocate(for_gc=True, stream=self._base_stream)
         spare = SpareArea(type=PageType.DIFFERENTIAL, timestamp=self._next_ts())
         self.chip.program_page(addr, payload, spare)
         self.blocks.note_valid(addr)

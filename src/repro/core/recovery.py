@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Set
 
 from ..flash.chip import FlashChip
 from ..flash.spare import PageType
-from ..ftl.gc import VictimPolicy, greedy_policy
+from ..ftl.gc import VictimPolicy
 from .differential import DEFAULT_COALESCE_GAP, DifferentialError, decode_differential_page
 from .pdl import PdlDriver
 from .tables import PhysicalPageMappingTable, ValidDifferentialCountTable
@@ -197,7 +197,7 @@ def recover_driver(
     max_differential_size: int = 256,
     coalesce_gap: int = DEFAULT_COALESCE_GAP,
     reserve_blocks: int = 2,
-    victim_policy: VictimPolicy = greedy_policy,
+    victim_policy: "Optional[VictimPolicy]" = None,
     **driver_kwargs,
 ) -> "tuple[PdlDriver, RecoveryReport]":
     """Build a fully operational :class:`PdlDriver` from post-crash flash.
@@ -205,7 +205,9 @@ def recover_driver(
     Reconstructs the tables (Figure 11), the allocator's validity bitmap
     and free-block pool, and resumes the timestamp counter.  Fully-erased
     blocks return to the free pool; partially-written blocks are sealed
-    until GC reclaims them.
+    until GC reclaims them.  GC tuning (``victim_policy`` or a
+    ``gc_config`` keyword) is runtime state, not flash state — callers
+    re-supply it on every restart.
     """
     driver = PdlDriver.__new__(PdlDriver)
     PdlDriver.__init__(

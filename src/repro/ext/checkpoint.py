@@ -42,7 +42,7 @@ from ..core.recovery import RecoveryReport, recover_driver
 from ..flash.chip import FlashChip
 from ..flash.spare import PageType, SpareArea
 from ..ftl.errors import ConfigurationError
-from ..ftl.gc import VictimPolicy, greedy_policy
+from ..ftl.gc import VictimPolicy
 
 _HEADER = struct.Struct("<IIIIIIQ")
 _ENTRY = struct.Struct("<IIQI")
@@ -202,7 +202,7 @@ class CheckpointManager:
         chip: FlashChip,
         region_blocks: int = 2,
         max_differential_size: int = 256,
-        victim_policy: VictimPolicy = greedy_policy,
+        victim_policy: Optional[VictimPolicy] = None,
         **driver_kwargs,
     ) -> Tuple[PdlDriver, "CheckpointManager", RestartReport]:
         """Restart a PDL driver, fast when a valid snapshot exists.

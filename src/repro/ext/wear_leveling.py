@@ -2,13 +2,16 @@
 
 The paper defers wear-leveling to orthogonal work but notes that such
 techniques "can be applied to the storage system independently of the
-page update methods".  These policies plug into the same
-:class:`GarbageCollector` used by OPU and PDL:
+page update methods".  The cost-benefit and wear-aware compromises now
+live in :mod:`repro.ftl.gc` next to the registry (select them with
+``GcConfig(policy="cb")`` / ``"wear"`` or a ``gc=`` label token);
+:func:`wear_aware_policy` is re-exported here for compatibility.
+
+This module keeps the pure wear-leveling extreme:
 
 * :func:`round_robin_policy` — cycle through candidate blocks, spreading
-  erases evenly regardless of garbage density (pure wear-leveling);
-* :func:`wear_aware_policy` — the classic cost-benefit compromise:
-  garbage reclaimed per erase, discounted by the block's wear.
+  erases evenly regardless of garbage density.  Importing this module
+  registers it as ``"rr"``.
 """
 
 from __future__ import annotations
@@ -16,7 +19,9 @@ from __future__ import annotations
 from typing import Optional
 
 from ..ftl.allocator import BlockManager
-from ..ftl.gc import VictimPolicy
+from ..ftl.gc import VictimPolicy, register_victim_policy, wear_aware_policy
+
+__all__ = ["round_robin_policy", "wear_aware_policy"]
 
 
 def round_robin_policy() -> VictimPolicy:
@@ -39,26 +44,4 @@ def round_robin_policy() -> VictimPolicy:
     return policy
 
 
-def wear_aware_policy(wear_weight: float = 1.0) -> VictimPolicy:
-    """Cost-benefit selection: maximize garbage / (1 + weight × wear).
-
-    With ``wear_weight=0`` this degenerates to the greedy policy; larger
-    weights trade reclamation efficiency for evener wear (lower maximum
-    per-block erase counts — the longevity metric of Experiment 6).
-    """
-
-    def policy(blocks: BlockManager) -> Optional[int]:
-        best: Optional[int] = None
-        best_score = 0.0
-        for block in blocks.victim_candidates():
-            garbage = blocks.garbage_in(block)
-            if garbage <= 0:
-                continue
-            wear = blocks.chip.erase_count(block)
-            score = garbage / (1.0 + wear_weight * wear)
-            if score > best_score:
-                best = block
-                best_score = score
-        return best
-
-    return policy
+register_victim_policy("rr", round_robin_policy)

@@ -35,6 +35,17 @@ WRITE_STEP = "write_step"
 GC = "gc"
 
 
+def percentile(samples: List[float], pct: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0 when empty)."""
+    if not samples:
+        return 0.0
+    if not 0 < pct <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {pct}")
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * pct // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
 @dataclass
 class OpCounts:
     """Operation counts and simulated time for one phase."""
@@ -89,6 +100,15 @@ class FlashStats:
         #: miss is *also* recorded as a normal read in its phase).
         self.cache_hits: int = 0
         self.cache_misses: int = 0
+        #: Per-write GC stall samples (simulated us of reclamation work a
+        #: single logical write absorbed); the GC engine records one
+        #: sample per write, zero included, so percentiles are over all
+        #: writes rather than only the stalled ones.
+        self.write_stall_us: List[float] = []
+        #: Incremental-GC accounting: bounded reclamation steps taken and
+        #: the victim pages they relocated in total.
+        self.gc_steps: int = 0
+        self.gc_step_pages: int = 0
 
     # ------------------------------------------------------------------
     # Phase management
@@ -146,6 +166,15 @@ class FlashStats:
     def record_cache_miss(self) -> None:
         self.cache_misses += 1
 
+    def record_write_stall(self, stall_us: float) -> None:
+        """Record the GC time one logical write absorbed (0 for none)."""
+        self.write_stall_us.append(stall_us)
+
+    def record_gc_step(self, pages_relocated: int) -> None:
+        """Record one bounded incremental-GC step."""
+        self.gc_steps += 1
+        self.gc_step_pages += pages_relocated
+
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
@@ -190,12 +219,28 @@ class FlashStats:
         accesses = self.cache_hits + self.cache_misses
         return self.cache_hits / accesses if accesses else 0.0
 
+    def write_stall_percentile(self, pct: float) -> float:
+        """Nearest-rank percentile of per-write GC stalls, in simulated us.
+
+        ``write_stall_percentile(99)`` is the p99 write stall — the
+        tail-latency metric incremental GC exists to shrink.  Returns 0
+        when no writes have been metered.
+        """
+        return percentile(self.write_stall_us, pct)
+
+    @property
+    def max_write_stall_us(self) -> float:
+        return max(self.write_stall_us, default=0.0)
+
     def reset(self) -> None:
         """Clear all counters (e.g. after loading + warm-up)."""
         self.phases.clear()
         self.block_erases = [0] * len(self.block_erases)
         self.cache_hits = 0
         self.cache_misses = 0
+        self.write_stall_us = []
+        self.gc_steps = 0
+        self.gc_step_pages = 0
 
 
 @dataclass

@@ -7,7 +7,7 @@
 * :class:`IplDriver` — the log-based baseline (in-page logging).
 """
 
-from .allocator import BlockManager
+from .allocator import COLD_STREAM, HOT_STREAM, BlockManager
 from .base import ChangeRun, PageUpdateMethod, apply_runs
 from .errors import (
     ConfigurationError,
@@ -16,17 +16,31 @@ from .errors import (
     UnallocatedPageError,
     UnknownPageError,
 )
-from .gc import GarbageCollector, RelocationHandler, VictimPolicy, greedy_policy
+from .gc import (
+    GarbageCollector,
+    GcConfig,
+    RelocationHandler,
+    VictimPolicy,
+    cost_benefit_policy,
+    greedy_policy,
+    make_victim_policy,
+    register_victim_policy,
+    victim_policy_names,
+    wear_aware_policy,
+)
 from .ipl import IplDriver, decode_slot, encode_slot
 from .ipu import IpuDriver
 from .opu import OpuDriver
 
 __all__ = [
     "BlockManager",
+    "COLD_STREAM",
     "ChangeRun",
     "ConfigurationError",
     "FtlError",
     "GarbageCollector",
+    "GcConfig",
+    "HOT_STREAM",
     "IplDriver",
     "IpuDriver",
     "OpuDriver",
@@ -37,7 +51,12 @@ __all__ = [
     "UnknownPageError",
     "VictimPolicy",
     "apply_runs",
+    "cost_benefit_policy",
     "decode_slot",
     "encode_slot",
     "greedy_policy",
+    "make_victim_policy",
+    "register_victim_policy",
+    "victim_policy_names",
+    "wear_aware_policy",
 ]

@@ -4,11 +4,17 @@ NAND forbids in-place overwrite, so out-place drivers append new physical
 pages and leave superseded copies behind as garbage.  :class:`BlockManager`
 owns that lifecycle:
 
-* blocks start *free* (erased); one *active* block serves allocations
-  page-by-page;
+* blocks start *free* (erased); an *active* block per append stream
+  serves allocations page-by-page — the default is one ``cold`` stream,
+  and drivers practising hot/cold separation open a second ``hot``
+  stream so short-lived pages (differential pages, fresh OPU writes) and
+  long-lived ones (base pages, GC survivors) never share a block;
 * a RAM validity bitmap tracks which physical pages hold live data —
   drivers call :meth:`note_valid` when they program a page and
   :meth:`note_invalid` when its contents are superseded;
+* per-block metadata for victim selection: the last-write clock reading
+  (block *age* for cost-benefit policies) and the erase count (wear for
+  wear-aware policies), both readable without charging I/O time;
 * when the free-block pool falls to the reserve level, the registered
   garbage collector is invoked *before* the pool is tapped, and GC
   relocations allocate with ``for_gc=True`` so they can dip into the
@@ -16,21 +22,28 @@ owns that lifecycle:
 
 The reserve (default 2 blocks) guarantees GC can always relocate a
 victim's valid pages: a victim holds at most one block's worth of valid
-data, which fits in the active block's tail plus one reserve block.
+data, which fits in the active blocks' tails plus the reserve — one
+fresh block per stream the relocations may append to.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Iterable, List, Optional, Set
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set
 
 from ..flash.chip import FlashChip
 from ..flash.spec import FlashSpec
 from .errors import OutOfSpaceError
 
+#: Append stream for long-lived data: base pages, GC-relocated survivors.
+COLD_STREAM = "cold"
+
+#: Append stream for short-lived data: differential pages, fresh updates.
+HOT_STREAM = "hot"
+
 
 class BlockManager:
-    """Tracks free blocks, the active allocation point, and page validity."""
+    """Tracks free blocks, per-stream allocation points, and page validity."""
 
     def __init__(
         self, chip: FlashChip, reserve_blocks: int = 2, exclude_blocks: int = 0
@@ -54,10 +67,14 @@ class BlockManager:
         self._is_free: List[bool] = [
             block >= exclude_blocks for block in range(self.spec.n_blocks)
         ]
-        self._active: Optional[int] = None
-        self._next_page: int = 0
+        #: stream name -> its open active block (absent until first use).
+        self._active: Dict[str, int] = {}
+        self._next_page: Dict[str, int] = {}
         self._valid: List[bool] = [False] * self.spec.n_pages
         self._valid_per_block: List[int] = [0] * self.spec.n_blocks
+        #: Chip-clock reading of each block's most recent page program —
+        #: the "age" input of cost-benefit victim selection.
+        self._last_write_us: List[float] = [0.0] * self.spec.n_blocks
         self._gc: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
@@ -70,37 +87,55 @@ class BlockManager:
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
-    def allocate(self, for_gc: bool = False) -> int:
-        """Return the next free physical page address.
+    def allocate(self, for_gc: bool = False, stream: str = COLD_STREAM) -> int:
+        """Return the next free physical page address on ``stream``.
 
         Regular allocations trigger GC when the pool is at the reserve
         level; GC relocations (``for_gc=True``) may consume the reserve.
+        Streams are independent append points over one shared free pool.
         """
-        if self._active is None or self._next_page >= self.spec.pages_per_block:
-            self._open_new_block(for_gc)
-        assert self._active is not None
-        addr = self._active * self.spec.pages_per_block + self._next_page
-        self._next_page += 1
+        if (
+            stream not in self._active
+            or self._next_page[stream] >= self.spec.pages_per_block
+        ):
+            self._open_new_block(for_gc, stream)
+        addr = (
+            self._active[stream] * self.spec.pages_per_block
+            + self._next_page[stream]
+        )
+        self._next_page[stream] += 1
         return addr
 
-    def _open_new_block(self, for_gc: bool) -> None:
+    def _open_new_block(self, for_gc: bool, stream: str) -> None:
         if not for_gc and self._gc is not None and len(self._free) <= self.reserve_blocks:
             self._gc()
+            # GC relocations may have opened a fresh block on this very
+            # stream and left room in it; abandoning that tail (by
+            # unconditionally popping another block) would strand
+            # unprogrammed pages as instant garbage and inflate the
+            # erase count.
+            if (
+                stream in self._active
+                and self._next_page[stream] < self.spec.pages_per_block
+            ):
+                return
         if not self._free:
             raise OutOfSpaceError("no free blocks remain on the chip")
         block = self._free.popleft()
         self._is_free[block] = False
-        self._active = block
-        self._next_page = 0
+        self._active[stream] = block
+        self._next_page[stream] = 0
 
     # ------------------------------------------------------------------
     # Validity tracking
     # ------------------------------------------------------------------
     def note_valid(self, addr: int) -> None:
         """Record that ``addr`` now holds live data."""
+        block = addr // self.spec.pages_per_block
         if not self._valid[addr]:
             self._valid[addr] = True
-            self._valid_per_block[addr // self.spec.pages_per_block] += 1
+            self._valid_per_block[block] += 1
+        self._last_write_us[block] = self.chip.clock_us
 
     def note_invalid(self, addr: int) -> None:
         """Record that ``addr`` no longer holds live data."""
@@ -123,21 +158,41 @@ class BlockManager:
         ]
 
     # ------------------------------------------------------------------
+    # Per-block metadata (victim-policy inputs)
+    # ------------------------------------------------------------------
+    def block_age(self, block: int) -> float:
+        """Simulated microseconds since the block last took a program."""
+        return self.chip.clock_us - self._last_write_us[block]
+
+    def erase_count(self, block: int) -> int:
+        """Lifetime erases of ``block`` (wear), from the device backend."""
+        return self.chip.erase_count(block)
+
+    # ------------------------------------------------------------------
     # Block lifecycle
     # ------------------------------------------------------------------
     @property
     def active_block(self) -> Optional[int]:
-        return self._active
+        """The cold (default) stream's active block."""
+        return self._active.get(COLD_STREAM)
+
+    def active_blocks(self) -> List[int]:
+        """Every stream's open active block."""
+        return list(self._active.values())
+
+    def pages_left(self, stream: str = COLD_STREAM) -> int:
+        """Allocations ``stream``'s active block can still serve without
+        opening a new block (and therefore without any chance of
+        triggering GC).  Batched writers use this to bound a batch so GC
+        never runs while staged-but-unprogrammed allocations exist."""
+        if stream not in self._active:
+            return 0
+        return self.spec.pages_per_block - self._next_page[stream]
 
     @property
     def pages_left_in_active(self) -> int:
-        """Allocations the active block can still serve without opening a
-        new block (and therefore without any chance of triggering GC).
-        Batched writers use this to bound a batch so GC never runs while
-        staged-but-unprogrammed allocations exist."""
-        if self._active is None:
-            return 0
-        return self.spec.pages_per_block - self._next_page
+        """``pages_left`` of the cold (default) stream."""
+        return self.pages_left(COLD_STREAM)
 
     @property
     def free_block_count(self) -> int:
@@ -152,8 +207,9 @@ class BlockManager:
         Garbage includes both obsolete pages and never-programmed tail
         pages of sealed blocks (e.g. the active block at crash time).
         """
+        active = set(self._active.values())
         for block in range(self.exclude_blocks, self.spec.n_blocks):
-            if self._is_free[block] or block == self._active:
+            if self._is_free[block] or block in active:
                 continue
             if self._valid_per_block[block] < self.spec.pages_per_block:
                 yield block
@@ -167,6 +223,7 @@ class BlockManager:
         for addr in range(start, start + self.spec.pages_per_block):
             self._valid[addr] = False
         self._valid_per_block[block] = 0
+        self._last_write_us[block] = self.chip.clock_us
         self._is_free[block] = True
         self._free.append(block)
 
@@ -182,10 +239,13 @@ class BlockManager:
         until GC reclaims it), and allocation resumes from a fresh block.
         """
         self._free.clear()
-        self._active = None
-        self._next_page = 0
+        self._active.clear()
+        self._next_page.clear()
         self._valid = [False] * self.spec.n_pages
         self._valid_per_block = [0] * self.spec.n_blocks
+        # Pre-crash write times are unknowable; restart every block's age
+        # clock at "now" so cost-benefit scores stay well-defined.
+        self._last_write_us = [self.chip.clock_us] * self.spec.n_blocks
         for addr in valid_addrs:
             self._valid[addr] = True
             self._valid_per_block[addr // self.spec.pages_per_block] += 1

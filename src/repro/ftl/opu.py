@@ -15,10 +15,10 @@ from typing import Dict, List, Optional
 from ..flash.chip import FlashChip
 from ..flash.spare import PageType, SpareArea
 from ..flash.stats import READ_STEP, WRITE_STEP
-from .allocator import BlockManager
+from .allocator import COLD_STREAM, HOT_STREAM, BlockManager
 from .base import ChangeRun, PageUpdateMethod
 from .errors import UnknownPageError
-from .gc import GarbageCollector, VictimPolicy, greedy_policy
+from .gc import GarbageCollector, GcConfig, VictimPolicy
 
 
 class OpuDriver(PageUpdateMethod):
@@ -30,12 +30,24 @@ class OpuDriver(PageUpdateMethod):
         self,
         chip: FlashChip,
         reserve_blocks: int = 2,
-        victim_policy: VictimPolicy = greedy_policy,
+        victim_policy: Optional[VictimPolicy] = None,
+        gc_config: Optional[GcConfig] = None,
     ):
         super().__init__(chip)
         self.name = "OPU"
+        self.gc_config = gc_config if gc_config is not None else GcConfig()
+        if victim_policy is None and self.gc_config.policy != "greedy":
+            self.name += f" gc={self.gc_config.policy}"
         self.blocks = BlockManager(chip, reserve_blocks=reserve_blocks)
-        self.gc = GarbageCollector(chip, self.blocks, handler=self, policy=victim_policy)
+        self.gc = GarbageCollector(
+            chip, self.blocks, handler=self, policy=victim_policy,
+            config=self.gc_config,
+        )
+        # Hot/cold separation for a page-mapping FTL: fresh updates are
+        # hot, pages that survived a collection are cold — the classic
+        # generational split that keeps victims garbage-dense.
+        self._write_stream = HOT_STREAM if self.gc_config.hot_cold else COLD_STREAM
+        self._gc_stream = COLD_STREAM
         #: Logical-to-physical mapping table (the FTL's page-level map).
         self.mapping: Dict[int, int] = {}
 
@@ -60,20 +72,26 @@ class OpuDriver(PageUpdateMethod):
     ) -> None:
         self._check_page(pid, data)
         with self.stats.phase(WRITE_STEP):
-            # Allocate first: allocation may trigger GC, which can relocate
-            # this very page — the superseded address must be read *after*
-            # any collection so the obsolete mark hits the live copy.
-            addr = self.blocks.allocate()
-            old = self.mapping.get(pid)
-            spare = SpareArea(type=PageType.DATA, pid=pid)
-            self.chip.program_page(addr, data, spare)
-            self.blocks.note_valid(addr)
-            self.mapping[pid] = addr
-            if old is not None:
-                # Out-place update: the superseded copy is marked obsolete
-                # with a spare program, the paper's second write per update.
-                self.chip.mark_obsolete(old)
-                self.blocks.note_invalid(old)
+            self.gc.on_write_begin()
+            try:
+                # Allocate first: allocation may trigger GC, which can
+                # relocate this very page — the superseded address must be
+                # read *after* any collection so the obsolete mark hits
+                # the live copy.
+                addr = self.blocks.allocate(stream=self._write_stream)
+                old = self.mapping.get(pid)
+                spare = SpareArea(type=PageType.DATA, pid=pid)
+                self.chip.program_page(addr, data, spare)
+                self.blocks.note_valid(addr)
+                self.mapping[pid] = addr
+                if old is not None:
+                    # Out-place update: the superseded copy is marked
+                    # obsolete with a spare program, the paper's second
+                    # write per update.
+                    self.chip.mark_obsolete(old)
+                    self.blocks.note_invalid(old)
+            finally:
+                self.gc.on_write_end()
 
     # ------------------------------------------------------------------
     # GC relocation handler
@@ -84,11 +102,11 @@ class OpuDriver(PageUpdateMethod):
             # The validity bitmap and the mapping table must agree; a
             # mismatch means FTL state corruption, not a recoverable event.
             raise UnknownPageError(f"GC found unmapped valid page at {addr}")
-        new = self.blocks.allocate(for_gc=True)
+        new = self.blocks.allocate(for_gc=True, stream=self._gc_stream)
         self.chip.program_page(new, data, spare)
         self.blocks.note_valid(new)
         self.mapping[pid] = new
-        # No obsolete mark: the victim block is erased right after.
+        # No obsolete mark: the victim block is erased once fully drained.
 
     def finish_victim(self, block: int) -> None:
         """OPU relocates page-at-a-time; nothing is buffered."""
@@ -97,7 +115,7 @@ class OpuDriver(PageUpdateMethod):
     # Internals
     # ------------------------------------------------------------------
     def _program(self, pid: int, data: bytes) -> None:
-        addr = self.blocks.allocate()
+        addr = self.blocks.allocate(stream=self._write_stream)
         spare = SpareArea(type=PageType.DATA, pid=pid)
         self.chip.program_page(addr, data, spare)
         self.blocks.note_valid(addr)

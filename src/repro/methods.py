@@ -17,6 +17,13 @@ of N chips instead of one::
     make_method("PDL (256B) x4", chips)          # hash-routed by default
     make_method("OPU x2", chips[:2], router=RangeRouter(2, 1024))
 
+A ``gc=<policy>`` token anywhere after the base label selects a
+registered GC victim policy (see :mod:`repro.ftl.gc`) for the driver —
+per shard, on sharded labels::
+
+    make_method("PDL (256B) x4 gc=cb", chips)    # cost-benefit GC
+    make_method("OPU gc=wear", chip)             # wear-aware GC
+
 Each chip gets its own per-shard driver (any base method works); the
 result is a :class:`~repro.sharding.driver.ShardedDriver`.  ``x1`` is
 accepted and still builds the sharded façade, which benchmarks use to
@@ -32,6 +39,7 @@ from .core.pdl import PdlDriver
 from .flash.chip import FlashChip
 from .ftl.base import PageUpdateMethod
 from .ftl.errors import ConfigurationError
+from .ftl.gc import GcConfig
 from .ftl.ipl import IplDriver
 from .ftl.ipu import IpuDriver
 from .ftl.opu import OpuDriver
@@ -58,12 +66,32 @@ _LABEL_RE = re.compile(
 
 _SHARDED_RE = re.compile(r"^(?P<base>.*\S)\s*[xX]\s*(?P<n>\d+)\s*$")
 
+_GC_RE = re.compile(r"\bgc\s*=\s*(?P<policy>[A-Za-z_][\w\-]*)", re.IGNORECASE)
+
 
 def parse_size(size: str, unit: Optional[str]) -> int:
     value = int(size)
     if unit and unit.upper() == "KB":
         value *= 1024
     return value
+
+
+def parse_gc_label(label: str) -> Tuple[str, Optional[str]]:
+    """Split a ``gc=<policy>`` token off a label.
+
+    ``"PDL (256B) x4 gc=cb"`` → ``("PDL (256B) x4", "cb")``; labels
+    without the token return ``(label, None)``.  The token may sit
+    before or after the ``xN`` shard suffix, so driver names built as
+    ``"PDL (256B) gc=cb x4"`` round-trip through the parser.
+    """
+    match = _GC_RE.search(label)
+    if match is None:
+        return label, None
+    rest = (label[: match.start()] + label[match.end() :]).strip()
+    rest = re.sub(r"\s{2,}", " ", rest)  # heal the seam the token left
+    if _GC_RE.search(rest) is not None:
+        raise ValueError(f"label {label!r} has more than one gc= token")
+    return rest, match.group("policy").lower()
 
 
 def parse_sharded_label(label: str) -> Tuple[str, Optional[int]]:
@@ -83,17 +111,28 @@ def _make_single(label: str, chip: FlashChip, **kwargs) -> PageUpdateMethod:
     if plain == "OPU":
         return OpuDriver(chip, **kwargs)
     if plain == "IPU":
+        if "gc_config" in kwargs:
+            raise ConfigurationError(
+                "IPU updates in place and owns no garbage collector; "
+                "a gc= token / gc_config does not apply"
+            )
         return IpuDriver(chip, **kwargs)
     match = _LABEL_RE.match(label)
     if match is None:
         raise ValueError(
             f"unknown method label {label!r}; expected OPU, IPU, "
-            "PDL(<size>) or IPL(<size>), optionally suffixed ' xN'"
+            "PDL(<size>) or IPL(<size>), optionally suffixed ' xN' "
+            "and/or ' gc=<policy>'"
         )
     size = parse_size(match.group("size"), match.group("unit"))
     kind = match.group("kind").upper()
     if kind == "PDL":
         return PdlDriver(chip, max_differential_size=size, **kwargs)
+    if "gc_config" in kwargs:
+        raise ConfigurationError(
+            "IPL reclaims via block merges, not the pluggable collector; "
+            "a gc= token / gc_config does not apply"
+        )
     return IplDriver(chip, log_region_bytes=size, **kwargs)
 
 
@@ -107,10 +146,22 @@ def make_method(
     """Construct the driver named by a paper-style label.
 
     ``kwargs`` are forwarded to the (per-shard) driver constructor (e.g.
-    ``victim_policy`` for the GC ablations).  Sharded labels (``xN``)
-    require ``chip`` to be a sequence of exactly N chips; ``router``
-    overrides the default :class:`HashRouter` partition.
+    ``victim_policy`` or ``gc_config`` for the GC ablations).  Sharded
+    labels (``xN``) require ``chip`` to be a sequence of exactly N
+    chips; ``router`` overrides the default :class:`HashRouter`
+    partition.  A ``gc=<policy>`` token builds a :class:`GcConfig` for
+    every (per-shard) driver and may not be combined with an explicit
+    ``gc_config``/``victim_policy`` keyword.
     """
+    stripped, gc_policy = parse_gc_label(label)
+    if gc_policy is not None:
+        if "gc_config" in kwargs or kwargs.get("victim_policy") is not None:
+            raise ConfigurationError(
+                f"label {label!r} selects a GC policy, but gc_config/"
+                "victim_policy was also passed explicitly"
+            )
+        kwargs["gc_config"] = GcConfig(policy=gc_policy)
+        label = stripped
     base_label, n_shards = parse_sharded_label(label)
     if n_shards is not None:
         if isinstance(chip, FlashChip):

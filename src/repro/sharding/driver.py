@@ -195,6 +195,44 @@ class ShardedDriver(PageUpdateMethod):
         the array's parallel elapsed time."""
         return [chip.clock_us for chip in self.chips]
 
+    def gc_report(self) -> Dict[str, object]:
+        """Aggregated space-management health across the array.
+
+        Per shard: completed collections, pages relocated, incremental
+        steps taken, current GC debt (blocks below the trigger level,
+        in-flight victim included) and cumulative reclamation time.
+        Array-wide: the same counters summed, plus the pooled per-write
+        stall tail (p99 / max) — the number incremental GC exists to
+        shrink.  Shards without a pluggable collector (e.g. IPU) report
+        ``None``.
+        """
+        per_shard: List[Optional[Dict[str, object]]] = []
+        for shard in self.shards:
+            gc = getattr(shard, "gc", None)
+            if gc is None:
+                per_shard.append(None)
+                continue
+            per_shard.append(
+                {
+                    "policy": gc.policy_label,
+                    "collections": gc.collections,
+                    "pages_relocated": gc.pages_relocated,
+                    "incremental_steps": gc.steps,
+                    "debt_blocks": gc.gc_debt(),
+                    "gc_time_us": gc.gc_time_us,
+                }
+            )
+        present = [entry for entry in per_shard if entry is not None]
+        return {
+            "per_shard": per_shard,
+            "total_collections": sum(e["collections"] for e in present),
+            "total_pages_relocated": sum(e["pages_relocated"] for e in present),
+            "total_incremental_steps": sum(e["incremental_steps"] for e in present),
+            "total_debt_blocks": sum(e["debt_blocks"] for e in present),
+            "write_stall_p99_us": self._stats.write_stall_percentile(99),
+            "write_stall_max_us": self._stats.max_write_stall_us,
+        }
+
     def wear_report(self) -> Dict[str, object]:
         """Aggregated wear: per-shard erase totals and worst block."""
         per_shard = [shard.stats.total_erases for shard in self.shards]

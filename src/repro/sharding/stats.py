@@ -27,7 +27,7 @@ from __future__ import annotations
 from contextlib import ExitStack, contextmanager
 from typing import Dict, Iterator, List, Sequence
 
-from ..flash.stats import FlashStats, OpCounts, StatsSnapshot
+from ..flash.stats import FlashStats, OpCounts, StatsSnapshot, percentile
 
 
 class AggregateStats:
@@ -92,6 +92,35 @@ class AggregateStats:
     def per_shard(self) -> List[FlashStats]:
         """The underlying per-shard collectors (read-only use)."""
         return list(self._shards)
+
+    # ------------------------------------------------------------------
+    # GC / write-stall aggregation
+    # ------------------------------------------------------------------
+    @property
+    def write_stall_us(self) -> List[float]:
+        """Per-write GC stall samples pooled across all shards."""
+        merged: List[float] = []
+        for stats in self._shards:
+            merged.extend(stats.write_stall_us)
+        return merged
+
+    def write_stall_percentile(self, pct: float) -> float:
+        """Nearest-rank stall percentile over the pooled samples — the
+        array-level tail, since a client write lands on exactly one
+        shard and stalls only on that shard's collector."""
+        return percentile(self.write_stall_us, pct)
+
+    @property
+    def max_write_stall_us(self) -> float:
+        return max((s.max_write_stall_us for s in self._shards), default=0.0)
+
+    @property
+    def gc_steps(self) -> int:
+        return sum(stats.gc_steps for stats in self._shards)
+
+    @property
+    def gc_step_pages(self) -> int:
+        return sum(stats.gc_step_pages for stats in self._shards)
 
     # ------------------------------------------------------------------
     # Snapshots (the steady-state measurement window protocol)

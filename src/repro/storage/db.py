@@ -122,6 +122,11 @@ class Database:
         ``read_cache_pages`` enables the per-chip LRU base-page read
         cache; remaining keyword arguments go to the (per-shard)
         :class:`~repro.core.pdl.PdlDriver` constructor or recovery.
+        GC tuning rides through them — e.g.
+        ``gc_config=GcConfig(policy="cb", incremental_steps=4)``
+        selects cost-benefit incremental collection on every shard.
+        Like the buffer capacity, GC tuning is runtime (not manifest)
+        state: pass it again on reopen.
         """
         path = os.fspath(path)
         manifest_path = os.path.join(path, MANIFEST_NAME)

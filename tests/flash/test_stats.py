@@ -112,3 +112,107 @@ class TestOpCounts:
         b = a.copy()
         b.reads = 9
         assert a.reads == 1
+
+
+class TestWriteStalls:
+    def test_percentile_nearest_rank(self, stats):
+        for us in (0.0, 0.0, 0.0, 100.0, 1000.0):
+            stats.record_write_stall(us)
+        assert stats.write_stall_percentile(50) == 0.0
+        assert stats.write_stall_percentile(80) == 100.0
+        assert stats.write_stall_percentile(99) == 1000.0
+        assert stats.write_stall_percentile(100) == 1000.0
+        assert stats.max_write_stall_us == 1000.0
+
+    def test_empty_and_invalid_percentiles(self, stats):
+        assert stats.write_stall_percentile(99) == 0.0
+        stats.record_write_stall(5.0)
+        with pytest.raises(ValueError):
+            stats.write_stall_percentile(0)
+        with pytest.raises(ValueError):
+            stats.write_stall_percentile(101)
+
+    def test_gc_step_counters_and_reset(self, stats):
+        stats.record_gc_step(3)
+        stats.record_gc_step(0)
+        stats.record_write_stall(7.0)
+        assert stats.gc_steps == 2
+        assert stats.gc_step_pages == 3
+        stats.reset()
+        assert stats.gc_steps == 0
+        assert stats.gc_step_pages == 0
+        assert stats.write_stall_us == []
+
+
+class TestPhasePartition:
+    """Regression (GC phase accounting audit): every device operation of
+    a GC-heavy PDL workload is charged to exactly one phase — the
+    per-phase totals must equal independently counted raw device ops,
+    and write_step + gc + load must partition the mutating traffic."""
+
+    def test_phase_totals_equal_raw_device_ops(self):
+        import random
+
+        from repro.core.pdl import PdlDriver
+        from repro.flash.chip import FlashChip
+        from repro.flash.spec import FlashSpec
+        from repro.ftl.gc import GcConfig
+
+        spec = FlashSpec(
+            n_blocks=12, pages_per_block=8, page_data_size=256, page_spare_size=16
+        )
+        chip = FlashChip(spec)
+        raw = {"reads": 0, "writes": 0, "erases": 0}
+
+        def count_mutating(op):
+            raw["erases" if op == "erase_block" else "writes"] += 1
+
+        chip.on_operation(count_mutating)
+        # Reads have no observer hook; wrap the chip's read entry points.
+        for name, weight in (
+            ("read_page", lambda a: 1),
+            ("read_spare", lambda a: 1),
+            ("read_pages", len),
+            ("read_spares", len),
+        ):
+            original = getattr(chip, name)
+
+            def wrapped(arg, _original=original, _weight=weight):
+                raw["reads"] += _weight(arg)
+                return _original(arg)
+
+            setattr(chip, name, wrapped)
+
+        driver = PdlDriver(
+            chip,
+            max_differential_size=64,
+            gc_config=GcConfig(incremental_steps=2, hot_cold=True),
+        )
+        rng = random.Random(5)
+        images = {pid: rng.randbytes(256) for pid in range(10)}
+        for pid, data in images.items():
+            driver.load_page(pid, data)
+        for i in range(400):
+            pid = rng.randrange(10)
+            image = bytearray(images[pid])
+            offset = rng.randrange(200)
+            image[offset : offset + 40] = rng.randbytes(40)
+            images[pid] = bytes(image)
+            driver.write_page(pid, images[pid])
+            if i % 16 == 15:
+                driver.flush()
+            if i % 32 == 31:
+                driver.read_page(rng.randrange(10))
+
+        assert driver.gc.collections > 0, "workload never exercised GC"
+        assert chip.stats.gc_steps > 0, "workload never stepped incrementally"
+        totals = chip.stats.totals()
+        assert totals.reads == raw["reads"]
+        assert totals.writes == raw["writes"]
+        assert totals.erases == raw["erases"]
+        # The write path is partitioned between write_step and gc, with
+        # nothing falling into the default (unattributed) phase.
+        assert set(chip.stats.phases) <= {"load", WRITE_STEP, READ_STEP, GC}
+        assert chip.stats.of_phase(GC).erases == totals.erases
+        by_phase = sum(counts.total_ops for counts in chip.stats.phases.values())
+        assert by_phase == totals.total_ops

@@ -164,3 +164,129 @@ class TestRebuild:
         blocks.allocate()
         blocks.rebuild(set())
         assert blocks.active_block is None
+
+
+class TestStreams:
+    """Hot/cold append streams: independent active blocks, shared pool."""
+
+    def test_streams_use_distinct_blocks(self, blocks, tiny_spec):
+        from repro.ftl.allocator import COLD_STREAM, HOT_STREAM
+
+        cold = blocks.allocate(stream=COLD_STREAM)
+        hot = blocks.allocate(stream=HOT_STREAM)
+        ppb = tiny_spec.pages_per_block
+        assert cold // ppb != hot // ppb
+        assert set(blocks.active_blocks()) == {cold // ppb, hot // ppb}
+
+    def test_streams_interleave_without_mixing(self, blocks, tiny_spec):
+        from repro.ftl.allocator import COLD_STREAM, HOT_STREAM
+
+        ppb = tiny_spec.pages_per_block
+        cold_addrs = []
+        hot_addrs = []
+        for _ in range(ppb // 2):
+            cold_addrs.append(blocks.allocate(stream=COLD_STREAM))
+            hot_addrs.append(blocks.allocate(stream=HOT_STREAM))
+        assert len({a // ppb for a in cold_addrs}) == 1
+        assert len({a // ppb for a in hot_addrs}) == 1
+        assert {a // ppb for a in cold_addrs} != {a // ppb for a in hot_addrs}
+
+    def test_default_stream_is_cold(self, blocks):
+        from repro.ftl.allocator import COLD_STREAM
+
+        addr = blocks.allocate()
+        assert blocks.active_block == addr // blocks.spec.pages_per_block
+        assert blocks.pages_left(COLD_STREAM) == blocks.pages_left_in_active
+
+    def test_pages_left_tracked_per_stream(self, blocks, tiny_spec):
+        from repro.ftl.allocator import COLD_STREAM, HOT_STREAM
+
+        assert blocks.pages_left(HOT_STREAM) == 0  # stream not open yet
+        blocks.allocate(stream=HOT_STREAM)
+        assert blocks.pages_left(HOT_STREAM) == tiny_spec.pages_per_block - 1
+        assert blocks.pages_left(COLD_STREAM) == 0
+
+    def test_every_active_block_excluded_from_victims(self, blocks, tiny_spec):
+        from repro.ftl.allocator import COLD_STREAM, HOT_STREAM
+
+        blocks.allocate(stream=COLD_STREAM)
+        blocks.allocate(stream=HOT_STREAM)
+        candidates = set(blocks.victim_candidates())
+        for active in blocks.active_blocks():
+            assert active not in candidates
+
+    def test_rebuild_clears_all_streams(self, blocks, chip):
+        from repro.ftl.allocator import HOT_STREAM
+
+        blocks.allocate()
+        blocks.allocate(stream=HOT_STREAM)
+        blocks.rebuild(set())
+        assert blocks.active_block is None
+        assert blocks.active_blocks() == []
+
+
+class TestBlockMetadata:
+    """Per-block age and wear, the victim-policy inputs."""
+
+    def test_block_age_advances_with_the_clock(self, blocks, chip):
+        addr = blocks.allocate()
+        chip.program_page(addr, b"\x01", SpareArea(type=PageType.DATA, pid=0))
+        blocks.note_valid(addr)
+        block = addr // blocks.spec.pages_per_block
+        age_then = blocks.block_age(block)
+        for _ in range(10):
+            chip.read_spare(0)
+        assert blocks.block_age(block) > age_then
+
+    def test_note_valid_resets_age(self, blocks, chip):
+        a1 = blocks.allocate()
+        chip.program_page(a1, b"\x01", SpareArea(type=PageType.DATA, pid=0))
+        blocks.note_valid(a1)
+        for _ in range(10):
+            chip.read_spare(0)
+        block = a1 // blocks.spec.pages_per_block
+        aged = blocks.block_age(block)
+        a2 = blocks.allocate()
+        chip.program_page(a2, b"\x02", SpareArea(type=PageType.DATA, pid=1))
+        blocks.note_valid(a2)
+        assert blocks.block_age(block) < aged
+
+    def test_erase_count_delegates_to_the_chip(self, blocks, chip):
+        assert blocks.erase_count(3) == 0
+        chip.erase_block(3)
+        assert blocks.erase_count(3) == 1
+
+
+class TestReuseAfterGcOpensBlock:
+    """Regression: the backstop GC may open a fresh active block for its
+    relocations; the interrupted allocation must reuse its tail instead
+    of popping (and stranding) yet another block."""
+
+    def test_block_opened_by_gc_is_not_abandoned(self, chip, tiny_spec):
+        blocks = BlockManager(chip, reserve_blocks=2)
+
+        def relocating_gc():
+            # Mimic a collection: relocate one page (opening a new active
+            # block with reserve pages), then erase a garbage block.
+            new = blocks.allocate(for_gc=True)
+            chip.program_page(new, b"\xaa", SpareArea(type=PageType.DATA, pid=0))
+            blocks.note_valid(new)
+            victim = next(
+                b for b in blocks.victim_candidates() if blocks.valid_count(b) == 0
+            )
+            chip.erase_block(victim)
+            blocks.on_block_erased(victim)
+
+        blocks.set_gc(relocating_gc)
+        ppb = tiny_spec.pages_per_block
+        # Exhaust the pool down to the reserve with garbage blocks.
+        while blocks.free_block_count > blocks.reserve_blocks:
+            for _ in range(ppb):
+                blocks.allocate()
+        # The next block-opening allocation triggers the GC above, which
+        # itself opens a new active block; the allocation must continue
+        # in that block's tail.
+        for _ in range(ppb):
+            blocks.allocate()
+        active = blocks.active_block
+        assert blocks.valid_count(active) >= 1  # the GC relocation's page

@@ -30,6 +30,7 @@ from repro.flash.errors import SimulatedPowerLoss
 from repro.flash.spec import FlashSpec
 from repro.ftl.base import PageUpdateMethod
 from repro.ftl.errors import UnknownPageError
+from repro.ftl.gc import GcConfig
 from repro.methods import make_method
 from repro.sharding.recovery import recover_all
 
@@ -48,12 +49,24 @@ SEED = 20100121
 MAX_DIFF = 64
 
 
-def _build(n_shards: int) -> Tuple[List[FlashChip], PageUpdateMethod]:
+#: Incremental space-management configs the matrix re-runs with: crash
+#: points now also fall *between* bounded GC steps, while a victim block
+#: is partially relocated and compacted differentials sit in RAM.
+INCREMENTAL_CONFIGS = {
+    "inc": GcConfig(incremental_steps=2),
+    "inc-hc-cb": GcConfig(policy="cb", incremental_steps=2, hot_cold=True),
+}
+
+
+def _build(
+    n_shards: int, gc_config: "GcConfig | None" = None
+) -> Tuple[List[FlashChip], PageUpdateMethod]:
+    kwargs = {} if gc_config is None else {"gc_config": gc_config}
     if n_shards == 1:
         chips = [FlashChip(SPEC)]
-        return chips, PdlDriver(chips[0], max_differential_size=MAX_DIFF)
+        return chips, PdlDriver(chips[0], max_differential_size=MAX_DIFF, **kwargs)
     chips = [FlashChip(SHARD_SPEC) for _ in range(n_shards)]
-    return chips, make_method(f"PDL ({MAX_DIFF}B) x{n_shards}", chips)
+    return chips, make_method(f"PDL ({MAX_DIFF}B) x{n_shards}", chips, **kwargs)
 
 
 def _recover(chips: Sequence[FlashChip], n_shards: int):
@@ -118,9 +131,11 @@ class _Window:
             self.floor[q] = len(self.history[q]) - 1
 
 
-def _count_mutating_ops(n_shards: int) -> int:
+def _count_mutating_ops(
+    n_shards: int, gc_config: "GcConfig | None" = None
+) -> int:
     """Dry run: total mutating flash operations in the full window."""
-    chips, driver = _build(n_shards)
+    chips, driver = _build(n_shards, gc_config)
     counter = {"ops": 0}
 
     def observe(_op: str) -> None:
@@ -134,6 +149,9 @@ def _count_mutating_ops(n_shards: int) -> int:
     # The matrix only means something if the window really exercises GC.
     total_erases = sum(chip.stats.total_erases for chip in chips)
     assert total_erases > 0, "window never triggered garbage collection"
+    if gc_config is not None and gc_config.incremental:
+        steps = sum(chip.stats.gc_steps for chip in chips)
+        assert steps > 0, "window never took an incremental GC step"
     return counter["ops"]
 
 
@@ -190,6 +208,45 @@ def _readable(driver: PageUpdateMethod, pid: int) -> bool:
         return True
     except UnknownPageError:
         return False
+
+
+@pytest.mark.parametrize("config_key", sorted(INCREMENTAL_CONFIGS))
+def test_crash_matrix_every_point_incremental_gc(config_key):
+    """Power loss at every mutating op of an *incremental* GC window.
+
+    Between bounded steps a victim block is partially relocated: base
+    pages coexist with equal-timestamp GC copies, compacted
+    differentials sit in the RAM buffer while their only flash copy is
+    still inside the un-erased victim, and ordinary writes interleave.
+    Recovery must still see every valid byte (the finish_victim
+    invariant) at every single crash point.
+    """
+    config = INCREMENTAL_CONFIGS[config_key]
+    total_ops = _count_mutating_ops(1, config)
+    assert total_ops > 20
+    for k in range(total_ops):
+        chips, driver = _build(1, config)
+        guard = _GlobalPowerLoss(chips, k)
+        window = _Window()
+        try:
+            window.run(driver)
+        except SimulatedPowerLoss:
+            pass
+        else:
+            pytest.fail(f"crash point {k} of {total_ops} never fired")
+        finally:
+            guard.disarm()
+        recovered, reports = _recover(chips, 1)
+        assert len(reports) == 1
+        _assert_recovered_state(window, recovered, k)
+        # The recovered driver must remain fully operational.
+        for pid in range(N_PIDS):
+            if not _readable(recovered, pid):
+                continue
+            image = bytearray(recovered.read_page(pid))
+            image[0:4] = b"\xaa\xbb\xcc\xdd"
+            recovered.write_page(pid, bytes(image))
+            assert recovered.read_page(pid) == bytes(image)
 
 
 class TestCrashPointFiltering:

@@ -226,3 +226,53 @@ class TestAggregateStats:
         clocks = driver.chip_clocks()
         assert clocks[0] > 0.0
         assert clocks[1] == 0.0
+
+
+class TestGcReport:
+    def test_fresh_array_reports_zeros(self):
+        _, driver = _sharded(2)
+        report = driver.gc_report()
+        assert len(report["per_shard"]) == 2
+        assert report["total_collections"] == 0
+        assert report["total_incremental_steps"] == 0
+        assert report["write_stall_p99_us"] == 0.0
+        assert all(entry["policy"] == "greedy" for entry in report["per_shard"])
+
+    def test_report_aggregates_incremental_work(self):
+        from repro.ftl.gc import GcConfig
+
+        chips, driver = _sharded(
+            2, gc_config=GcConfig(incremental_steps=2, hot_cold=True)
+        )
+        rng = random.Random(23)
+        images = {pid: rng.randbytes(PAGE) for pid in range(12)}
+        for pid, data in images.items():
+            driver.load_page(pid, data)
+        for _ in range(600):
+            pid = rng.randrange(12)
+            image = bytearray(images[pid])
+            offset = rng.randrange(PAGE - 40)
+            image[offset : offset + 40] = rng.randbytes(40)
+            images[pid] = bytes(image)
+            driver.write_page(pid, images[pid])
+        report = driver.gc_report()
+        assert report["total_collections"] > 0
+        assert report["total_incremental_steps"] > 0
+        assert report["total_pages_relocated"] == sum(
+            shard.gc.pages_relocated for shard in driver.shards
+        )
+        # Stall samples pooled across shards: one per logical write.
+        assert len(driver.stats.write_stall_us) == 600
+        assert report["write_stall_p99_us"] >= 0.0
+        for entry, shard in zip(report["per_shard"], driver.shards):
+            assert entry["collections"] == shard.gc.collections
+            assert entry["debt_blocks"] == shard.gc.gc_debt()
+
+    def test_shards_without_collector_report_none(self):
+        chips = _chips(1)
+        from repro.ftl.ipu import IpuDriver
+
+        driver = ShardedDriver([IpuDriver(chips[0])])
+        report = driver.gc_report()
+        assert report["per_shard"] == [None]
+        assert report["total_collections"] == 0

@@ -166,3 +166,40 @@ class TestPersistentOpen:
             chip = db.driver.chip
             assert chip.cache is not None
             assert chip.stats.cache_hits > 0
+
+
+class TestGcConfigPassthrough:
+    """GC tuning flows through Database.open to every shard driver."""
+
+    def test_open_with_gc_config_and_reopen(self, tmp_path):
+        from repro.ftl.gc import GcConfig, cost_benefit_policy
+
+        config = GcConfig(policy="cb", incremental_steps=2, hot_cold=True)
+        with Database.open(
+            tmp_path / "db", n_shards=2, buffer_capacity=8, gc_config=config
+        ) as db:
+            for shard in db.driver.shards:
+                assert shard.gc.config is config
+                assert shard.gc.policy is cost_benefit_policy
+            page = db.allocate_page()
+            page.write(0, b"\x07" * db.page_size)
+            db.flush()
+        # GC tuning is runtime state: it is re-supplied on reopen and
+        # reaches the recovered per-shard drivers.
+        with Database.open(tmp_path / "db", buffer_capacity=8, gc_config=config) as db:
+            for shard in db.driver.shards:
+                assert shard.gc.config is config
+            assert bytes(db.page(0).data) == b"\x07" * db.page_size
+
+    def test_volatile_database_with_sharded_gc_label(self):
+        from repro.flash.chip import FlashChip
+        from repro.flash.spec import TINY_SPEC
+        from repro.methods import make_method
+
+        chips = [FlashChip(TINY_SPEC) for _ in range(2)]
+        driver = make_method("PDL (64B) x2 gc=wear", chips)
+        db = Database(driver, buffer_capacity=8)
+        page = db.allocate_page()
+        page.write(0, b"\x11" * db.page_size)
+        db.flush()
+        assert all(s.gc.config.policy == "wear" for s in db.driver.shards)

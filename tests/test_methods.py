@@ -115,3 +115,82 @@ class TestMethodLists:
         for label in PAPER_METHODS:
             chip = FlashChip(SAMSUNG_K9L8G08U0M.scaled(8))
             assert make_method(label, chip).name == label
+
+
+class TestGcLabelToken:
+    """The ``gc=<policy>`` token: per-driver GC policy from the label."""
+
+    def _chips(self, n):
+        from repro.flash.spec import TINY_SPEC
+
+        return [FlashChip(TINY_SPEC) for _ in range(n)]
+
+    def test_parse_gc_label(self):
+        from repro.methods import parse_gc_label
+
+        assert parse_gc_label("PDL (256B)") == ("PDL (256B)", None)
+        assert parse_gc_label("PDL (256B) x4 gc=cb") == ("PDL (256B) x4", "cb")
+        assert parse_gc_label("PDL (256B) gc=cb x4") == ("PDL (256B) x4", "cb")
+        assert parse_gc_label("OPU gc=WEAR") == ("OPU", "wear")
+        with pytest.raises(ValueError):
+            parse_gc_label("PDL (256B) gc=cb gc=wear")
+
+    def test_single_driver_gets_policy(self, chip):
+        from repro.ftl.gc import cost_benefit_policy
+
+        driver = make_method("PDL (256B) gc=cb", chip)
+        assert driver.gc.policy is cost_benefit_policy
+        assert driver.gc.config.policy == "cb"
+        assert driver.name == "PDL (256B) gc=cb"
+
+    def test_sharded_label_builds_per_shard_configs(self):
+        from repro.ftl.gc import wear_aware_policy  # noqa: F401
+
+        driver = make_method("PDL (64B) x2 gc=wear", self._chips(2))
+        for shard in driver.shards:
+            assert shard.gc.config.policy == "wear"
+        # Fresh policy instance per shard (stateful policies must not share).
+        assert driver.shards[0].gc.policy is not driver.shards[1].gc.policy
+        assert driver.name == "PDL (64B) gc=wear x2"
+
+    def test_driver_name_roundtrips_through_the_parser(self):
+        driver = make_method("PDL (64B) x2 gc=cb", self._chips(2))
+        rebuilt = make_method(driver.name, self._chips(2))
+        assert rebuilt.name == driver.name
+
+    def test_opu_accepts_gc_token(self, chip):
+        driver = make_method("OPU gc=cb", chip)
+        assert driver.gc.config.policy == "cb"
+        assert driver.name == "OPU gc=cb"
+
+    def test_ipu_and_ipl_reject_gc_token(self, chip):
+        from repro.ftl.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            make_method("IPU gc=cb", chip)
+        with pytest.raises(ConfigurationError):
+            make_method("IPL (18KB) gc=cb", chip)
+
+    def test_gc_token_conflicts_with_explicit_kwargs(self, chip):
+        from repro.ftl.errors import ConfigurationError
+        from repro.ftl.gc import GcConfig, greedy_policy
+
+        with pytest.raises(ConfigurationError):
+            make_method("PDL (256B) gc=cb", chip, gc_config=GcConfig())
+        with pytest.raises(ConfigurationError):
+            make_method("PDL (256B) gc=cb", chip, victim_policy=greedy_policy)
+
+    def test_unknown_policy_name_rejected(self, chip):
+        from repro.ftl.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown victim policy"):
+            make_method("PDL (256B) gc=mystery", chip)
+
+    def test_incremental_config_through_kwargs(self, chip):
+        from repro.ftl.gc import GcConfig
+
+        driver = make_method(
+            "PDL (256B)", chip, gc_config=GcConfig(incremental_steps=4, hot_cold=True)
+        )
+        assert driver.gc.config.incremental_steps == 4
+        assert driver.gc_config.hot_cold
