@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Markdown link checker for the documentation set (CI docs job).
+
+Scans ``README.md`` and ``docs/*.md`` for inline links and validates:
+
+* relative file targets exist (resolved from the linking file's
+  directory, anchors stripped);
+* anchors — both ``#same-file`` and ``file.md#section`` — resolve to a
+  heading in the target file, using GitHub's slug rules (lowercase,
+  punctuation dropped, spaces to hyphens);
+* absolute URLs are only syntax-checked (CI must not depend on the
+  network), but non-http schemes are rejected.
+
+Exits non-zero listing every broken link.  Run locally::
+
+    python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links/images: [text](target) — target without spaces.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def doc_files():
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    text = CODE_FENCE_RE.sub("", text)  # '# comment' in fences ≠ heading
+    return {github_slug(match) for match in HEADING_RE.findall(text)}
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    stripped = CODE_FENCE_RE.sub("", text)
+    for target in LINK_RE.findall(stripped):
+        if target.startswith(("http://", "https://")):
+            continue
+        if ":" in target.split("#", 1)[0]:
+            problems.append(f"{path.name}: unsupported link scheme {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{path.name}: broken link {target!r}")
+                continue
+        else:
+            resolved = path
+        if anchor and resolved.suffix == ".md":
+            if anchor not in anchors_of(resolved):
+                problems.append(
+                    f"{path.name}: anchor {target!r} not found in "
+                    f"{resolved.name}"
+                )
+    return problems
+
+
+def main() -> int:
+    files = doc_files()
+    problems = []
+    n_links = 0
+    for path in files:
+        stripped = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+        n_links += len(LINK_RE.findall(stripped))
+        problems.extend(check_file(path))
+    if problems:
+        print(f"docs link check: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        f"docs link check: OK ({len(files)} files, {n_links} links verified)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

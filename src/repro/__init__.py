@@ -76,19 +76,22 @@ from .ftl import (
     register_victim_policy,
     victim_policy_names,
 )
-from .ftl.errors import UnallocatedPageError
+from .ftl.errors import ConcurrencyError, UnallocatedPageError
 from .methods import (
     PAPER_METHODS,
     PAPER_METHODS_NO_IPU,
     make_method,
     method_labels,
     parse_gc_label,
+    parse_parallel_label,
     parse_sharded_label,
     sharded_labels,
 )
 from .sharding import (
     HashRouter,
+    ParallelShardedDriver,
     RangeRouter,
+    ShardExecutor,
     ShardRouter,
     ShardedDriver,
     make_router,
@@ -101,6 +104,7 @@ __all__ = [
     "BENCH_SPEC",
     "BackendError",
     "ChangeRun",
+    "ConcurrencyError",
     "CrashError",
     "CrashPoint",
     "DeviceBackend",
@@ -122,11 +126,13 @@ __all__ = [
     "PAPER_METHODS_NO_IPU",
     "PageType",
     "PageUpdateMethod",
+    "ParallelShardedDriver",
     "PdlDriver",
     "PhysicalPageMappingTable",
     "RangeRouter",
     "RecoveryReport",
     "SAMSUNG_K9L8G08U0M",
+    "ShardExecutor",
     "ShardRouter",
     "ShardedDriver",
     "SimulatedPowerLoss",
@@ -142,6 +148,7 @@ __all__ = [
     "make_victim_policy",
     "method_labels",
     "parse_gc_label",
+    "parse_parallel_label",
     "parse_sharded_label",
     "recover_all",
     "recover_driver",

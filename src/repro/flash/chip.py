@@ -41,6 +41,7 @@ prefix of completed operations.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
@@ -124,6 +125,15 @@ class FlashChip:
         Capacity of the LRU base-page read cache (0, the default,
         disables it).  Cache hits skip both the backend access and the
         ``Tread`` charge; see :mod:`repro.flash.cache`.
+    realtime_scale:
+        When positive, every operation *actually sleeps* ``scale ×`` its
+        simulated latency, so the calling thread waits the way a host
+        thread waits on a real NAND device.  ``1.0`` reproduces Table-1
+        timings in wall-clock; fractions compress them proportionally.
+        Sleeps release the GIL, which is what lets the parallel shard
+        executor overlap device waits across chips
+        (``benchmarks/bench_parallel.py``; see ``docs/concurrency.md``).
+        Simulated accounting is unaffected; 0 (the default) never sleeps.
     """
 
     def __init__(
@@ -132,6 +142,7 @@ class FlashChip:
         stats: Optional[FlashStats] = None,
         backend: Optional[DeviceBackend] = None,
         read_cache_pages: int = 0,
+        realtime_scale: float = 0.0,
     ):
         if spec is None and backend is None:
             raise ValueError("FlashChip needs a spec or a backend")
@@ -159,6 +170,9 @@ class FlashChip:
             spec.n_blocks, spec.t_read_us, spec.t_write_us, spec.t_erase_us
         )
         self.cache = ReadCache(read_cache_pages) if read_cache_pages > 0 else None
+        if realtime_scale < 0:
+            raise ValueError("realtime_scale must be non-negative")
+        self.realtime_scale = realtime_scale
         self._clock_us: float = 0.0
         self._crash_point: Optional[CrashPoint] = None
         self._crash_remaining: int = 0
@@ -213,6 +227,20 @@ class FlashChip:
     # ------------------------------------------------------------------
     # Clock
     # ------------------------------------------------------------------
+    def _advance_clock(self, us: float) -> None:
+        """Charge ``us`` simulated microseconds; in realtime mode, also
+        make the calling thread wait the scaled latency (one sleep per
+        chip call, so batched entry points wait once for the batch —
+        ``program_pages`` charges per page and sleeps the batch total
+        separately)."""
+        self._clock_us += us
+        self._sleep_scaled(us)
+
+    def _sleep_scaled(self, us: float) -> None:
+        """Actually wait ``realtime_scale × us`` (no-op at scale 0)."""
+        if self.realtime_scale > 0.0:
+            time.sleep(us * self.realtime_scale * 1e-6)
+
     @property
     def clock_us(self) -> float:
         """Simulated microseconds elapsed since chip creation.
@@ -239,7 +267,7 @@ class FlashChip:
                 self.stats.record_cache_hit()
                 return entry
         self.stats.record_read()
-        self._clock_us += self.spec.t_read_us
+        self._advance_clock(self.spec.t_read_us)
         data = self.backend.read_data(addr)
         if data is None:
             data = b"\xff" * self.spec.page_data_size
@@ -255,7 +283,7 @@ class FlashChip:
         recovery-scan cost estimate of ~60 s for 1 GB)."""
         self._check_addr(addr)
         self.stats.record_read()
-        self._clock_us += self.spec.t_read_us
+        self._advance_clock(self.spec.t_read_us)
         return self._decoded_spare(addr)
 
     def read_pages(self, addrs: Sequence[int]) -> List[Tuple[bytes, SpareArea]]:
@@ -271,7 +299,7 @@ class FlashChip:
         for addr in addrs:
             self._check_addr(addr)
         self.stats.record_reads(len(addrs))
-        self._clock_us += self.spec.t_read_us * len(addrs)
+        self._advance_clock(self.spec.t_read_us * len(addrs))
         erased = b"\xff" * self.spec.page_data_size
         return [
             (raw_data if raw_data is not None else erased,
@@ -289,7 +317,7 @@ class FlashChip:
         for addr in addrs:
             self._check_addr(addr)
         self.stats.record_reads(len(addrs))
-        self._clock_us += self.spec.t_read_us * len(addrs)
+        self._advance_clock(self.spec.t_read_us * len(addrs))
         decode = SpareArea.decode
         erased = erased_spare(self.spec.page_spare_size)
         return [
@@ -309,7 +337,7 @@ class FlashChip:
         payload = self._validate_program(addr, data)
         self._pre_mutate("program_page")
         self.stats.record_write()
-        self._clock_us += self.spec.t_write_us
+        self._advance_clock(self.spec.t_write_us)
         self.backend.program_page(
             addr, payload, spare.encode(self.spec.page_spare_size)
         )
@@ -341,6 +369,8 @@ class FlashChip:
                 payload = self._validate_program(addr, data)
                 self._pre_mutate("program_page")
                 self.stats.record_write()
+                # Clock per page; the realtime wait happens once for the
+                # whole admitted batch below (matching read_pages).
                 self._clock_us += self.spec.t_write_us
                 staged.append(
                     (addr, payload, spare.encode(self.spec.page_spare_size))
@@ -349,6 +379,7 @@ class FlashChip:
         finally:
             if staged:
                 self.backend.program_pages(staged)
+                self._sleep_scaled(self.spec.t_write_us * len(staged))
                 if self.cache is not None:
                     for addr in staged_addrs:
                         self.cache.invalidate(addr)
@@ -402,7 +433,7 @@ class FlashChip:
             )
         self._pre_mutate("program_partial")
         self.stats.record_write()
-        self._clock_us += self.spec.t_write_us
+        self._advance_clock(self.spec.t_write_us)
         updated = bytearray(current)
         updated[offset : offset + len(data)] = data
         self.backend.write_data(addr, bytes(updated), data_programs + 1)
@@ -437,7 +468,7 @@ class FlashChip:
             )
         self._pre_mutate("program_spare")
         self.stats.record_write()
-        self._clock_us += self.spec.t_write_us
+        self._advance_clock(self.spec.t_write_us)
         self.backend.write_spare(addr, encoded, spare_programs + 1)
         if self.cache is not None:
             self.cache.invalidate(addr)
@@ -465,7 +496,7 @@ class FlashChip:
             )
         self._pre_mutate("mark_obsolete")
         self.stats.record_write()
-        self._clock_us += self.spec.t_write_us
+        self._advance_clock(self.spec.t_write_us)
         patched = bytearray(current)
         patched[1] = 0x00
         self.backend.write_spare(addr, bytes(patched), spare_programs + 1)
@@ -488,7 +519,7 @@ class FlashChip:
             )
         self._pre_mutate("erase_block")
         self.stats.record_erase(block)
-        self._clock_us += self.spec.t_erase_us
+        self._advance_clock(self.spec.t_erase_us)
         self.backend.erase_block(block)
         if self.cache is not None:
             start = block * self.spec.pages_per_block

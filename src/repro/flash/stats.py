@@ -18,10 +18,21 @@ step shown separately).  Drivers push a phase around each entry point::
 Phases nest; an operation is charged to the innermost phase only, so
 "write_step" and "gc" partition the write path and Figure 12's total is
 simply their sum.
+
+Threading model (see ``docs/concurrency.md``): the phase stack is
+*thread-local*, so a worker thread executing one shard's operations and
+a client thread pushing an outer phase never corrupt each other's
+nesting.  Counter mutation stays lock-free on the hot path because the
+parallel execution layer guarantees a **single writer per collector**
+(one worker thread per shard); the only lock taken guards creation of a
+new phase bucket against a concurrent aggregate read, so ``totals()`` /
+``snapshot()`` from a monitoring thread never observe the phases dict
+mid-resize.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
@@ -93,7 +104,11 @@ class FlashStats:
         self._t_erase = t_erase_us
         self.phases: Dict[str, OpCounts] = {}
         self.block_erases: List[int] = [0] * n_blocks
-        self._phase_stack: List[str] = []
+        self._local = threading.local()
+        #: Guards phase-bucket creation against concurrent aggregate
+        #: reads (totals/snapshot); per-op accounting itself is
+        #: single-writer by the executor's one-worker-per-shard design.
+        self._lock = threading.Lock()
         #: Read-cache accounting (see :mod:`repro.flash.cache`): hits are
         #: reads served from RAM — no flash operation, no Tread charge —
         #: while misses count reads that fell through to the device (a
@@ -113,25 +128,39 @@ class FlashStats:
     # ------------------------------------------------------------------
     # Phase management
     # ------------------------------------------------------------------
+    @property
+    def _phase_stack(self) -> List[str]:
+        """This thread's phase stack (phases travel with execution)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Attribute operations inside the block to phase ``name``."""
-        self._phase_stack.append(name)
+        stack = self._phase_stack
+        stack.append(name)
         try:
             yield
         finally:
-            self._phase_stack.pop()
+            stack.pop()
 
     @property
     def current_phase(self) -> str:
-        return self._phase_stack[-1] if self._phase_stack else DEFAULT_PHASE
+        stack = self._phase_stack
+        return stack[-1] if stack else DEFAULT_PHASE
 
     def _bucket(self) -> OpCounts:
         name = self.current_phase
         bucket = self.phases.get(name)
         if bucket is None:
-            bucket = OpCounts()
-            self.phases[name] = bucket
+            with self._lock:
+                bucket = self.phases.get(name)
+                if bucket is None:
+                    bucket = OpCounts()
+                    self.phases[name] = bucket
         return bucket
 
     # ------------------------------------------------------------------
@@ -178,10 +207,21 @@ class FlashStats:
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
+    def phase_items(self) -> List:
+        """A stable shallow copy of the phases dict for iteration.
+
+        Taken under the bucket-creation lock, so a reader never iterates
+        the dict while a worker inserts a new phase key.  The OpCounts
+        values themselves are still live (single-writer mutation); exact
+        readings belong after a join, as everywhere in the stats layer.
+        """
+        with self._lock:
+            return list(self.phases.items())
+
     def totals(self) -> OpCounts:
         """Sum over all phases."""
         total = OpCounts()
-        for counts in self.phases.values():
+        for _name, counts in self.phase_items():
             total = total.add(counts)
         return total
 
@@ -199,14 +239,14 @@ class FlashStats:
     def snapshot(self) -> "StatsSnapshot":
         """Freeze current counters; subtract later with ``delta_since``."""
         return StatsSnapshot(
-            phases={name: counts.copy() for name, counts in self.phases.items()},
+            phases={name: counts.copy() for name, counts in self.phase_items()},
             block_erases=list(self.block_erases),
         )
 
     def delta_since(self, snap: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``snap`` was taken."""
         phases: Dict[str, OpCounts] = {}
-        for name, counts in self.phases.items():
+        for name, counts in self.phase_items():
             before = snap.phases.get(name, OpCounts())
             diff = counts.sub(before)
             if diff.total_ops or diff.time_us:

@@ -34,3 +34,15 @@ class UnallocatedPageError(UnknownPageError):
 
 class ConfigurationError(FtlError):
     """A driver was configured inconsistently with the chip geometry."""
+
+
+class ConcurrencyError(FtlError):
+    """The thread-execution contract of the parallel layer was violated.
+
+    Raised when shard state is touched from the wrong thread — e.g. a GC
+    engine bound to a shard worker sees its write hooks run elsewhere —
+    or when tasks are submitted to a shut-down
+    :class:`~repro.sharding.executor.ShardExecutor`.  Single-writer-per-
+    shard is what lets the drivers stay lock-free; see
+    ``docs/concurrency.md``.
+    """

@@ -41,6 +41,7 @@ tail-latency metric ``benchmarks/bench_gc.py`` compares across modes.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Optional, Protocol
@@ -49,7 +50,7 @@ from ..flash.chip import FlashChip
 from ..flash.spare import SpareArea
 from ..flash.stats import GC
 from .allocator import BlockManager
-from .errors import ConfigurationError, OutOfSpaceError
+from .errors import ConcurrencyError, ConfigurationError, OutOfSpaceError
 
 #: A victim-selection policy: given the block manager, return the block to
 #: reclaim next, or None when no candidate exists.
@@ -281,14 +282,37 @@ class GarbageCollector:
         self._victim: Optional[int] = None
         self._pending: Deque[int] = deque()
         self._write_mark = 0.0
+        self._owner_ident: Optional[int] = None
         blocks.set_gc(self.collect)
 
     # ------------------------------------------------------------------
     # Write-path hooks (stall metering + incremental pacing)
     # ------------------------------------------------------------------
+    def bind_owner_thread(self, ident: Optional[int]) -> None:
+        """Pin this engine's write hooks to one thread (``None`` unpins).
+
+        The parallel shard executor binds each shard's engine to that
+        shard's single worker thread; the hooks then refuse to run
+        anywhere else, so incremental pacing, stall metering and the
+        in-flight victim can never be mutated concurrently — the guard
+        that keeps GC state shard-local under real threading.
+        """
+        self._owner_ident = ident
+
+    def _check_owner(self) -> None:
+        if (
+            self._owner_ident is not None
+            and threading.get_ident() != self._owner_ident
+        ):
+            raise ConcurrencyError(
+                "GC write hook invoked off the owning shard worker thread; "
+                "route all shard operations through its executor mailbox"
+            )
+
     def on_write_begin(self) -> None:
         """Driver hook at the start of one logical write: run the write's
         incremental step budget, and mark the stall-meter baseline."""
+        self._check_owner()
         self._write_mark = self.gc_time_us
         if self.config.incremental and (
             self._victim is not None or self._below_trigger()
@@ -298,6 +322,7 @@ class GarbageCollector:
     def on_write_end(self) -> None:
         """Driver hook at the end of one logical write: record how much
         GC time the write absorbed (its stall), backstop runs included."""
+        self._check_owner()
         self.chip.stats.record_write_stall(self.gc_time_us - self._write_mark)
 
     # ------------------------------------------------------------------

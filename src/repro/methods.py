@@ -24,6 +24,15 @@ per shard, on sharded labels::
     make_method("PDL (256B) x4 gc=cb", chips)    # cost-benefit GC
     make_method("OPU gc=wear", chip)             # wear-aware GC
 
+A ``par`` token on a sharded label builds a
+:class:`~repro.sharding.executor.ParallelShardedDriver`: the same array,
+but with one worker thread per shard so group flush, bulk loads and
+buffer-pool flushes execute concurrently in wall-clock time (see
+``docs/concurrency.md``)::
+
+    make_method("PDL (256B) x4 par", chips)      # thread-parallel array
+    make_method("PDL (256B) x4 par gc=cb", chips)
+
 Each chip gets its own per-shard driver (any base method works); the
 result is a :class:`~repro.sharding.driver.ShardedDriver`.  ``x1`` is
 accepted and still builds the sharded façade, which benchmarks use to
@@ -68,6 +77,8 @@ _SHARDED_RE = re.compile(r"^(?P<base>.*\S)\s*[xX]\s*(?P<n>\d+)\s*$")
 
 _GC_RE = re.compile(r"\bgc\s*=\s*(?P<policy>[A-Za-z_][\w\-]*)", re.IGNORECASE)
 
+_PAR_RE = re.compile(r"\bpar\b", re.IGNORECASE)
+
 
 def parse_size(size: str, unit: Optional[str]) -> int:
     value = int(size)
@@ -92,6 +103,24 @@ def parse_gc_label(label: str) -> Tuple[str, Optional[str]]:
     if _GC_RE.search(rest) is not None:
         raise ValueError(f"label {label!r} has more than one gc= token")
     return rest, match.group("policy").lower()
+
+
+def parse_parallel_label(label: str) -> Tuple[str, bool]:
+    """Split a ``par`` token off a label.
+
+    ``"PDL (256B) x4 par"`` → ``("PDL (256B) x4", True)``; labels
+    without the token return ``(label, False)``.  Like ``gc=``, the
+    token may sit anywhere after the base label, so driver names built
+    as ``"PDL (256B) x4 par"`` round-trip through the parser.
+    """
+    match = _PAR_RE.search(label)
+    if match is None:
+        return label, False
+    rest = (label[: match.start()] + label[match.end() :]).strip()
+    rest = re.sub(r"\s{2,}", " ", rest)
+    if _PAR_RE.search(rest) is not None:
+        raise ValueError(f"label {label!r} has more than one par token")
+    return rest, True
 
 
 def parse_sharded_label(label: str) -> Tuple[str, Optional[int]]:
@@ -121,8 +150,8 @@ def _make_single(label: str, chip: FlashChip, **kwargs) -> PageUpdateMethod:
     if match is None:
         raise ValueError(
             f"unknown method label {label!r}; expected OPU, IPU, "
-            "PDL(<size>) or IPL(<size>), optionally suffixed ' xN' "
-            "and/or ' gc=<policy>'"
+            "PDL(<size>) or IPL(<size>), optionally suffixed ' xN', "
+            "' gc=<policy>' and/or ' par'"
         )
     size = parse_size(match.group("size"), match.group("unit"))
     kind = match.group("kind").upper()
@@ -162,7 +191,14 @@ def make_method(
             )
         kwargs["gc_config"] = GcConfig(policy=gc_policy)
         label = stripped
+    label, parallel = parse_parallel_label(label)
     base_label, n_shards = parse_sharded_label(label)
+    if parallel and n_shards is None:
+        raise ConfigurationError(
+            f"label {label!r} requests parallel execution but is unsharded; "
+            "parallelism is per shard — use an 'xN' label (x1 gives a "
+            "one-worker array)"
+        )
     if n_shards is not None:
         if isinstance(chip, FlashChip):
             raise ConfigurationError(
@@ -176,6 +212,10 @@ def make_method(
                 f"got {len(chips)}"
             )
         shards = [_make_single(base_label, shard_chip, **kwargs) for shard_chip in chips]
+        if parallel:
+            from .sharding.executor import ParallelShardedDriver
+
+            return ParallelShardedDriver(shards, router=router)
         return ShardedDriver(shards, router=router)
     if router is not None:
         raise ConfigurationError(

@@ -11,10 +11,14 @@ shard's mapping tables after a crash.
 * :mod:`repro.sharding.router` — hash and range partitioning, pluggable.
 * :mod:`repro.sharding.driver` — the façade, batched group flush,
   aggregated wear reporting.
+* :mod:`repro.sharding.executor` — real thread parallelism: a
+  single-writer worker thread per shard (:class:`ShardExecutor`) and
+  the :class:`ParallelShardedDriver` built on it (see
+  ``docs/concurrency.md``).
 * :mod:`repro.sharding.stats` — merged :class:`FlashStats` view plus
   per-chip clocks for serial-vs-parallel time accounting.
 * :mod:`repro.sharding.recovery` — per-shard Figure-11 scans composed
-  into array recovery.
+  into array recovery (optionally scanning all shards concurrently).
 
 Build sharded configurations from paper-style labels::
 
@@ -27,6 +31,7 @@ Build sharded configurations from paper-style labels::
 """
 
 from .driver import ShardedDriver
+from .executor import ParallelShardedDriver, ShardExecutor
 from .recovery import recover_all
 from .router import HashRouter, RangeRouter, ShardRouter, make_router
 from .stats import AggregateStats
@@ -34,7 +39,9 @@ from .stats import AggregateStats
 __all__ = [
     "AggregateStats",
     "HashRouter",
+    "ParallelShardedDriver",
     "RangeRouter",
+    "ShardExecutor",
     "ShardRouter",
     "ShardedDriver",
     "make_router",

@@ -21,6 +21,13 @@ pool, sharding multiplies the paper's mechanisms for free:
   buffer in one batched call, the natural commit point for a DBMS
   checkpoint running above the array.
 
+This base class executes everything on the calling thread, one shard
+after another; parallelism appears only in the simulated clock model
+(the busiest chip's share of a window).  Its subclass
+:class:`~repro.sharding.executor.ParallelShardedDriver` executes shards
+on real worker threads — see ``docs/concurrency.md`` for the execution
+model and how the two time metrics relate.
+
 The driver is method-agnostic: any mix of PDL/OPU/IPU/IPL shards built
 by :func:`repro.methods.make_method` works, although homogeneous fleets
 (the ``"PDL (256B) x4"`` labels) are the measured configuration.
@@ -140,8 +147,12 @@ class ShardedDriver(PageUpdateMethod):
         All shards flush before control returns, so a caller observing
         the return has a single durability horizon across the array —
         the sharded generalization of Section 4.5's write-through.  The
-        flushes are independent per-chip programs and overlap on real
-        hardware; simulated parallel time is the slowest shard's share.
+        flushes are independent per-chip programs; this serial façade
+        runs them one after another (simulated parallel time is still
+        the slowest shard's share), while
+        :class:`~repro.sharding.executor.ParallelShardedDriver`
+        overrides this method to fan them out across its worker threads
+        for real wall-clock overlap — see ``docs/concurrency.md``.
         """
         for shard in self.shards:
             shard.flush()

@@ -18,9 +18,12 @@ Two properties make this composition sound:
   deployment config rather than on flash.
 
 The per-chip scans are independent (each reads only its own chip), so
-on real hardware they proceed in parallel: recovering an N-shard array
-costs the wall-clock of one shard's scan — 1/N of the paper's ~60 s/GB
-estimate for the same total capacity.
+they can run concurrently: ``recover_all(..., parallel=True)`` executes
+the Figure-11 scans on one worker thread per shard and returns a
+:class:`~repro.sharding.executor.ParallelShardedDriver`, making the
+1/N-of-~60 s/GB recovery estimate a *measured* wall-clock property
+rather than a modeling claim (``benchmarks/bench_parallel.py`` records
+the serial-vs-threaded scan times; see ``docs/concurrency.md``).
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ def recover_all(
     chips: Sequence[FlashChip],
     router: Optional[ShardRouter] = None,
     max_differential_size: int = 256,
+    parallel: bool = False,
     **driver_kwargs,
 ) -> Tuple[ShardedDriver, List[RecoveryReport]]:
     """Rebuild a sharded PDL array from post-crash flash contents.
@@ -48,6 +52,12 @@ def recover_all(
     default).  Remaining keyword arguments are forwarded to each
     shard's :func:`recover_driver` (e.g. ``coalesce_gap``,
     ``victim_policy``).
+
+    With ``parallel=True`` the per-shard scans run concurrently on a
+    :class:`~repro.sharding.executor.ShardExecutor` (one worker per
+    chip — each scan reads and heals only its own device, so the scans
+    share nothing), and the worker pool is kept to drive the returned
+    :class:`~repro.sharding.executor.ParallelShardedDriver`.
 
     Returns the operational driver plus one :class:`RecoveryReport` per
     shard, in shard order.
@@ -60,8 +70,35 @@ def recover_all(
             f"router partitions {router.n_shards} shards but {len(chips)} "
             "chips were supplied"
         )
+    if parallel:
+        from .executor import ParallelShardedDriver, ShardExecutor
+
+        executor = ShardExecutor(len(chips))
+        try:
+            recovered = executor.map(
+                [
+                    (
+                        i,
+                        lambda c=chip: recover_driver(
+                            c,
+                            max_differential_size=max_differential_size,
+                            **driver_kwargs,
+                        ),
+                    )
+                    for i, chip in enumerate(chips)
+                ]
+            )
+        except BaseException:
+            executor.shutdown()
+            raise
+        shards = [driver for driver, _report in recovered]
+        reports = [report for _driver, report in recovered]
+        sharded: ShardedDriver = ParallelShardedDriver(
+            shards, router or HashRouter(len(chips)), executor=executor
+        )
+        return sharded, reports
     shards = []
-    reports: List[RecoveryReport] = []
+    reports = []
     for chip in chips:
         driver, report = recover_driver(
             chip, max_differential_size=max_differential_size, **driver_kwargs

@@ -6,16 +6,28 @@ the same read surface (``totals``, ``of_phase``, ``snapshot`` /
 uses, so the workload runner and benchmarks measure a
 :class:`~repro.sharding.driver.ShardedDriver` without special-casing.
 
-Two time metrics matter for a multi-chip array:
+Two *simulated* time metrics matter for a multi-chip array:
 
 * **serial time** — the sum of all chips' busy time: total device work,
   what a single chip would have taken.  This is what the merged phase
   counters report, consistent with :class:`FlashStats`.
 * **parallel time** — the busy time of the *busiest* chip: elapsed
-  wall-clock with the chips serving their queues concurrently, the
-  paper's simulated-I/O-time metric generalized to an array.  Exposed
-  via :meth:`chip_clocks` (per-chip monotonic clocks); the scaling
+  time with the chips serving their queues concurrently, the paper's
+  simulated-I/O-time metric generalized to an array.  Exposed via
+  :meth:`chip_clocks` (per-chip monotonic clocks); the scaling
   benchmark reports ``max(clock deltas)`` as the parallel cost.
+
+Since the :class:`~repro.sharding.executor.ShardExecutor`, the parallel
+model is no longer only simulated: a
+:class:`~repro.sharding.executor.ParallelShardedDriver` really executes
+shards concurrently, and ``measure_sharded_updates`` reports measured
+wall-clock time next to these simulated metrics so the model can be
+validated (``benchmarks/bench_parallel.py``; see
+``docs/concurrency.md``).  The per-shard collectors merged here double
+as the per-worker accumulators — each :class:`FlashStats` is mutated
+only by its shard's single worker thread, and every aggregate property
+below (op totals, stall histograms, GC step counters) merges them on
+read, which is safe once the fan-out has joined.
 
 ``block_erases`` concatenates the shards' per-block wear counters in
 shard order, so wear reports and Figure-16-style histograms extend to
@@ -54,10 +66,15 @@ class AggregateStats:
     # ------------------------------------------------------------------
     @property
     def phases(self) -> Dict[str, OpCounts]:
-        """Per-phase counters summed over all shards."""
+        """Per-phase counters summed over all shards.
+
+        Iterates each shard's locked :meth:`FlashStats.phase_items`
+        snapshot, so a monitoring thread never races a worker creating
+        its first bucket for a phase name.
+        """
         merged: Dict[str, OpCounts] = {}
         for stats in self._shards:
-            for name, counts in stats.phases.items():
+            for name, counts in stats.phase_items():
                 merged[name] = merged.get(name, OpCounts()).add(counts)
         return merged
 

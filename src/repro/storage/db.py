@@ -101,6 +101,7 @@ class Database:
         n_shards: Optional[int] = None,
         max_differential_size: Optional[int] = None,
         read_cache_pages: int = 0,
+        parallel: bool = False,
         **driver_kwargs,
     ) -> "Database":
         """Open (or create) a persistent PDL database at ``path``.
@@ -118,6 +119,14 @@ class Database:
         contradict the manifest raises
         :class:`~repro.ftl.errors.ConfigurationError` rather than
         silently reinterpreting the images.
+
+        ``parallel=True`` executes shards on worker threads (a
+        :class:`~repro.sharding.executor.ParallelShardedDriver`): the
+        reopen-time Figure-11 scans, every buffer-pool flush and
+        ``Database.flush()``'s group flush fan out across the array, and
+        the engine becomes safe to drive from concurrent client threads
+        (see ``docs/concurrency.md``).  Like GC tuning, it is runtime —
+        not manifest — state: pass it again on reopen.
 
         ``read_cache_pages`` enables the per-chip LRU base-page read
         cache; remaining keyword arguments go to the (per-shard)
@@ -138,6 +147,7 @@ class Database:
                 n_shards,
                 max_differential_size,
                 read_cache_pages,
+                parallel,
                 driver_kwargs,
             )
         return cls._create_new(
@@ -147,6 +157,7 @@ class Database:
             n_shards if n_shards is not None else 1,
             max_differential_size if max_differential_size is not None else 256,
             read_cache_pages,
+            parallel,
             driver_kwargs,
         )
 
@@ -159,6 +170,7 @@ class Database:
         n_shards: int,
         max_differential_size: int,
         read_cache_pages: int,
+        parallel: bool,
         driver_kwargs: dict,
     ) -> "Database":
         if n_shards < 1:
@@ -180,7 +192,7 @@ class Database:
                 )
             )
         driver = cls._assemble(
-            chips, n_shards, max_differential_size, driver_kwargs
+            chips, n_shards, max_differential_size, parallel, driver_kwargs
         )
         manifest = {
             "format": MANIFEST_VERSION,
@@ -204,6 +216,7 @@ class Database:
         n_shards: Optional[int],
         max_differential_size: Optional[int],
         read_cache_pages: int,
+        parallel: bool,
         driver_kwargs: dict,
     ) -> "Database":
         with open(os.path.join(path, MANIFEST_NAME), encoding="utf-8") as fh:
@@ -248,7 +261,10 @@ class Database:
             for i in range(stored_shards)
         ]
         # Figure-11 recovery per shard; recover_* resumes timestamps.
-        if stored_shards == 1:
+        # A parallel open routes even a single shard through recover_all:
+        # the one-worker array is what makes the driver safe for
+        # concurrent client threads.
+        if stored_shards == 1 and not parallel:
             from ..core.recovery import recover_driver
 
             driver, _report = recover_driver(
@@ -258,7 +274,10 @@ class Database:
             from ..sharding.recovery import recover_all
 
             driver, _reports = recover_all(
-                chips, max_differential_size=stored_max_diff, **driver_kwargs
+                chips,
+                max_differential_size=stored_max_diff,
+                parallel=parallel,
+                **driver_kwargs,
             )
         db = cls.resume(driver, buffer_capacity, _allocation_horizon(driver))
         db.path = path
@@ -269,12 +288,20 @@ class Database:
         chips: List[FlashChip],
         n_shards: int,
         max_differential_size: int,
+        parallel: bool,
         driver_kwargs: dict,
     ) -> PageUpdateMethod:
         shards = [
             PdlDriver(chip, max_differential_size=max_differential_size, **driver_kwargs)
             for chip in chips
         ]
+        if parallel:
+            # Even one shard gains the executor's mailbox: all client
+            # threads serialize through the worker, making the engine
+            # safe for concurrent use.
+            from ..sharding.executor import ParallelShardedDriver
+
+            return ParallelShardedDriver(shards)
         if n_shards == 1:
             return shards[0]
         from ..sharding.driver import ShardedDriver
@@ -290,8 +317,14 @@ class Database:
         if self._closed:
             return
         self.flush()
-        for chip in _chips_of(self.driver):
-            chip.close()
+        driver_close = getattr(self.driver, "close", None)
+        if driver_close is not None:
+            # Sharded drivers close their own chips; the parallel driver
+            # additionally stops its worker pool.
+            driver_close()
+        else:
+            for chip in _chips_of(self.driver):
+                chip.close()
         self._closed = True
 
     def __enter__(self) -> "Database":

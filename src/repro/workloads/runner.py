@@ -11,12 +11,18 @@ Sharded labels (``"PDL (256B) x4"``) build one chip per shard, each
 sized so its slice of the database keeps the paper's utilization ratio;
 :func:`measure_sharded_updates` additionally reports *parallel* time
 (the busiest chip's share of the window) next to the serial total, the
-metric the shard-scaling benchmark plots.
+metric the shard-scaling benchmark plots.  A ``par`` label executes the
+shards on real worker threads, and the measurement window is always
+wall-clock timed (``ShardScalingPoint.wall_s``) so the simulated
+parallel model can be compared against observed elapsed time — with
+``client_threads > 1`` driving a parallel driver from several
+concurrent clients (see ``docs/concurrency.md``).
 """
 
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -25,8 +31,10 @@ from ..flash.chip import FlashChip
 from ..flash.spec import FlashSpec, spec_for_database
 from ..flash.stats import GC, READ_STEP, WRITE_STEP
 from ..ftl.base import PageUpdateMethod
-from ..methods import make_method, parse_sharded_label
+from ..ftl.errors import ConfigurationError
+from ..methods import make_method, parse_gc_label, parse_parallel_label, parse_sharded_label
 from ..sharding.driver import ShardedDriver
+from ..sharding.executor import ParallelShardedDriver
 from .synthetic import SyntheticConfig, SyntheticWorkload
 
 
@@ -163,7 +171,9 @@ def warm_to_steady_state(workload: SyntheticWorkload, runner: RunnerConfig) -> i
     for pid in pids:
         workload.update_cycle(pid, n_updates=rng.randint(1, k_max))
         ops += 1
-    base_name, _ = parse_sharded_label(driver.name)
+    plain, _gc = parse_gc_label(driver.name)
+    plain, _par = parse_parallel_label(plain)
+    base_name, _ = parse_sharded_label(plain)
     if base_name.strip().upper() == "IPU":
         return ops  # in-place update has no free-space state to churn
     # total_blocks covers the whole array for sharded drivers.
@@ -190,7 +200,9 @@ def build_workload(
     per shard via :meth:`RunnerConfig.shard_spec`; a ``router`` entry in
     ``method_kwargs`` overrides the default hash partition.
     """
-    _base, n_shards = parse_sharded_label(label)
+    plain, _gc = parse_gc_label(label)
+    plain, _par = parse_parallel_label(plain)
+    _base, n_shards = parse_sharded_label(plain)
     if n_shards is None:
         chip = FlashChip(runner.spec())
     else:
@@ -277,6 +289,17 @@ class ShardScalingPoint:
     #: still shows how many shards collect independently.
     lifetime_shard_erases: List[int] = field(default_factory=list)
     group_flushes: int = 0
+    #: Measured host wall-clock seconds of the measurement window — the
+    #: *observed* counterpart of the simulated parallel model, so the
+    #: two can be compared (see docs/concurrency.md).  Unlike the
+    #: simulated numbers this depends on host speed and, for pure
+    #: in-memory work, on the GIL.
+    wall_s: float = 0.0
+    #: Client threads that drove the window (1 = single caller; more
+    #: requires a thread-safe ParallelShardedDriver).
+    client_threads: int = 1
+    #: Whether shard operations actually executed on worker threads.
+    measured_parallel: bool = False
 
     @property
     def parallel_speedup(self) -> float:
@@ -284,6 +307,11 @@ class ShardScalingPoint:
         if self.parallel_us_per_op == 0.0:
             return 1.0
         return self.serial_us_per_op / self.parallel_us_per_op
+
+    @property
+    def wall_us_per_op(self) -> float:
+        """Measured wall-clock per operation, in host microseconds."""
+        return self.wall_s * 1e6 / self.n_ops if self.n_ops else 0.0
 
     @property
     def gc_parallelism(self) -> int:
@@ -301,6 +329,10 @@ class ShardScalingPoint:
             "gc_us_per_op": self.gc_us_per_op,
             "erases": self.erases,
             "gc_parallelism": self.gc_parallelism,
+            "wall_s": self.wall_s,
+            "wall_us_per_op": self.wall_us_per_op,
+            "client_threads": self.client_threads,
+            "measured_parallel": self.measured_parallel,
         }
 
 
@@ -310,24 +342,51 @@ def measure_sharded_updates(
     pct_changed: float = 2.0,
     n_updates_till_write: int = 1,
     method_kwargs: Optional[Dict] = None,
+    client_threads: int = 1,
 ) -> ShardScalingPoint:
     """Steady-state update cost with per-chip parallel-time accounting.
 
     Works for sharded *and* plain labels (a plain label reports equal
     serial and parallel time), so a sweep can include the bare
     single-chip driver as its baseline.
+
+    Besides the simulated serial/parallel split, the measurement window
+    is timed with the host clock (``wall_s``), so the simulated model
+    can be compared against observed elapsed time.  ``client_threads``
+    greater than 1 drives the window from that many concurrent client
+    threads on disjoint pid partitions — only valid for ``par`` labels,
+    whose :class:`~repro.sharding.executor.ParallelShardedDriver`
+    serializes each shard's operations on its own worker.
     """
     workload = build_workload(
         label, runner, pct_changed, n_updates_till_write, method_kwargs
     )
     driver = workload.driver
+    if client_threads > 1 and not isinstance(driver, ParallelShardedDriver):
+        raise ConfigurationError(
+            f"label {label!r} builds a serial driver; concurrent client "
+            "threads need a parallel one (append ' par' to the label)"
+        )
     warm_to_steady_state(workload, runner)
     chips = driver.chips if isinstance(driver, ShardedDriver) else [driver.chip]
     stats = driver.stats
     clocks_before = [chip.clock_us for chip in chips]
     erases_before = [chip.stats.total_erases for chip in chips]
+    cycles_before = workload.update_cycles
     snap = stats.snapshot()
-    workload.run_updates(runner.measure_ops)
+    wall_start = time.perf_counter()
+    try:
+        if client_threads > 1:
+            workload.run_updates_threaded(runner.measure_ops, client_threads)
+        else:
+            workload.run_updates(runner.measure_ops)
+        wall_s = time.perf_counter() - wall_start
+    finally:
+        if isinstance(driver, ParallelShardedDriver):
+            # The workload is done with the driver; stop the worker
+            # pool so repeated measurements do not leak threads.  The
+            # chips stay open for the counter reads below.
+            driver.executor.shutdown()
     delta = stats.delta_since(snap)
     clock_deltas = [
         chip.clock_us - before for chip, before in zip(chips, clocks_before)
@@ -336,7 +395,9 @@ def measure_sharded_updates(
         chip.stats.total_erases - before
         for chip, before in zip(chips, erases_before)
     ]
-    n_ops = runner.measure_ops
+    # The threaded window executes floor(measure_ops / T) cycles per
+    # client; divide by what actually ran, not by what was requested.
+    n_ops = workload.update_cycles - cycles_before
     return ShardScalingPoint(
         label=label,
         n_shards=len(chips),
@@ -348,6 +409,9 @@ def measure_sharded_updates(
         per_shard_erases=per_shard_erases,
         lifetime_shard_erases=[chip.stats.total_erases for chip in chips],
         group_flushes=getattr(driver, "group_flushes", 0),
+        wall_s=wall_s,
+        client_threads=client_threads,
+        measured_parallel=isinstance(driver, ParallelShardedDriver),
     )
 
 

@@ -21,6 +21,7 @@ correctness check of the driver under test (disable with
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -122,12 +123,19 @@ class SyntheticWorkload:
         self.read_ops += 1
         return data
 
-    def _mutate(self, image: bytearray) -> ChangeRun:
-        """Change ``%ChangedByOneU_Op`` of the page at a random offset."""
+    def _mutate(
+        self, image: bytearray, rng: Optional[random.Random] = None
+    ) -> ChangeRun:
+        """Change ``%ChangedByOneU_Op`` of the page at a random offset.
+
+        ``rng`` defaults to the workload's RNG; threaded clients pass
+        their own so partitions stay deterministic per thread.
+        """
+        rng = rng if rng is not None else self.rng
         page_size = len(image)
         size = min(self.change_size, page_size)
-        offset = self.rng.randrange(page_size - size + 1)
-        new_bytes = self.rng.randbytes(size)
+        offset = rng.randrange(page_size - size + 1)
+        new_bytes = rng.randbytes(size)
         image[offset : offset + size] = new_bytes
         return ChangeRun(offset, new_bytes)
 
@@ -137,6 +145,69 @@ class SyntheticWorkload:
     def run_updates(self, n_cycles: int) -> None:
         for _ in range(n_cycles):
             self.update_cycle()
+
+    def run_updates_threaded(self, n_cycles: int, n_threads: int) -> None:
+        """Run update cycles from ``n_threads`` concurrent client threads.
+
+        Each thread owns a disjoint pid partition (``pid % n_threads``)
+        and a private RNG, so the shadow copy stays race-free (threads
+        write disjoint list slots) and verification remains exact.  The
+        union of executed cycles is deterministic per thread, though
+        their interleaving across shards is not — which is the point:
+        this drives a thread-safe driver (e.g. a
+        :class:`~repro.sharding.executor.ParallelShardedDriver`) the way
+        concurrent DBMS clients would.  Serial drivers are not safe
+        under this entry point; use :meth:`run_updates`.
+        """
+        if n_threads < 1:
+            raise ValueError("n_threads must be at least 1")
+        if n_threads == 1:
+            self.run_updates(n_cycles)
+            return
+        n_pages = self.config.database_pages
+        if n_threads > n_pages:
+            raise ValueError(
+                f"{n_threads} client threads cannot own disjoint pid "
+                f"partitions of a {n_pages}-page database"
+            )
+        errors: List[BaseException] = []
+        lock = threading.Lock()
+        cycles_per_thread = n_cycles // n_threads
+
+        def client(t: int) -> None:
+            rng = random.Random((self.config.seed << 8) + t)
+            pid_list = list(range(t, n_pages, n_threads))
+            try:
+                for _ in range(cycles_per_thread):
+                    pid = pid_list[rng.randrange(len(pid_list))]
+                    data = self.driver.read_page(pid)
+                    self._verify(pid, data)
+                    image = bytearray(data)
+                    # Same cycle shape as update_cycle: N in-memory
+                    # mutations, change runs collected so tightly-coupled
+                    # drivers (IPL) see real update logs, not a
+                    # degenerate whole-page log.
+                    logs: List[ChangeRun] = []
+                    for _ in range(self.config.n_updates_till_write):
+                        logs.append(self._mutate(image, rng))
+                    new_data = bytes(image)
+                    self._shadow[pid] = new_data
+                    self.driver.write_page(pid, new_data, update_logs=logs)
+            except BaseException as exc:
+                with lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(t,), name=f"client-{t}")
+            for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        self.update_cycles += cycles_per_thread * n_threads
 
     def run_mix(self, n_ops: int, pct_update: float) -> None:
         """Execute a read-only/update mix (``%UpdateOps`` of Table 3)."""

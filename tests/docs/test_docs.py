@@ -1,0 +1,54 @@
+"""The documentation set stays truthful: links resolve, files exist.
+
+The same checker runs in the CI docs job; having it in tier-1 means a
+renamed module or deleted doc fails fast, locally.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def test_required_docs_exist():
+    for name in (
+        "README.md",
+        "docs/architecture.md",
+        "docs/sharding.md",
+        "docs/concurrency.md",
+        "docs/paper-map.md",
+    ):
+        assert (ROOT / name).is_file(), f"missing {name}"
+
+
+def test_markdown_links_resolve():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_readme_names_only_real_files():
+    """Every repo-relative path the README cites in backticks exists."""
+    text = (ROOT / "README.md").read_text(encoding="utf-8")
+    cited = re.findall(
+        r"`((?:examples|benchmarks|bench_results|docs|src)/[\w./-]+?)`", text
+    )
+    assert cited, "README stopped citing any repo paths?"
+    for path in cited:
+        assert (ROOT / path).exists(), f"README cites missing {path}"
+
+
+def test_paper_map_names_only_real_files():
+    """Module/benchmark paths in the paper map's tables exist."""
+    text = (ROOT / "docs" / "paper-map.md").read_text(encoding="utf-8")
+    cited = re.findall(
+        r"`((?:src|tests|benchmarks|bench_results)/[\w./-]+?)`", text
+    )
+    assert cited
+    for path in cited:
+        assert (ROOT / path).exists(), f"paper-map cites missing {path}"

@@ -168,6 +168,77 @@ class TestPersistentOpen:
             assert chip.stats.cache_hits > 0
 
 
+class TestParallelOpen:
+    """Database.open(parallel=True): worker-threaded shard execution."""
+
+    SPEC = FlashSpec(
+        n_blocks=12, pages_per_block=8, page_data_size=256, page_spare_size=16
+    )
+
+    def _populate(self, db, n=8):
+        images = {}
+        for _ in range(n):
+            page = db.allocate_page()
+            data = bytes([page.pid + 1]) * db.page_size
+            page.write(0, data)
+            images[page.pid] = data
+        db.flush()
+        return images
+
+    def test_parallel_create_and_serial_reopen(self, tmp_path):
+        from repro.sharding.executor import ParallelShardedDriver
+
+        with Database.open(
+            tmp_path,
+            spec=self.SPEC,
+            n_shards=3,
+            max_differential_size=64,
+            buffer_capacity=4,
+            parallel=True,
+        ) as db:
+            assert isinstance(db.driver, ParallelShardedDriver)
+            images = self._populate(db, n=9)
+        # parallel is runtime state — a plain reopen recovers serially.
+        with Database.open(tmp_path) as db2:
+            assert not isinstance(db2.driver, ParallelShardedDriver)
+            for pid, data in images.items():
+                assert db2.page(pid).data == data
+
+    def test_parallel_reopen_recovers_concurrently(self, tmp_path):
+        from repro.sharding.executor import ParallelShardedDriver
+
+        with Database.open(
+            tmp_path,
+            spec=self.SPEC,
+            n_shards=2,
+            max_differential_size=64,
+            buffer_capacity=4,
+        ) as db:
+            images = self._populate(db, n=6)
+        with Database.open(tmp_path, parallel=True) as db2:
+            assert isinstance(db2.driver, ParallelShardedDriver)
+            for pid, data in images.items():
+                assert db2.page(pid).data == data
+
+    def test_parallel_single_shard_gets_the_facade(self, tmp_path):
+        from repro.sharding.executor import ParallelShardedDriver
+
+        with Database.open(
+            tmp_path,
+            spec=self.SPEC,
+            max_differential_size=64,
+            buffer_capacity=4,
+            parallel=True,
+        ) as db:
+            assert isinstance(db.driver, ParallelShardedDriver)
+            assert db.driver.n_shards == 1
+            images = self._populate(db, n=4)
+        with Database.open(tmp_path, parallel=True) as db2:
+            assert isinstance(db2.driver, ParallelShardedDriver)
+            for pid, data in images.items():
+                assert db2.page(pid).data == data
+
+
 class TestGcConfigPassthrough:
     """GC tuning flows through Database.open to every shard driver."""
 

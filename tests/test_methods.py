@@ -12,7 +12,27 @@ from repro.methods import (
     PAPER_METHODS_NO_IPU,
     make_method,
     method_labels,
+    parse_parallel_label,
 )
+
+
+class TestParallelToken:
+    """The ``par`` token: pure parsing (driver behaviour is covered by
+    tests/sharding/test_parallel_driver.py)."""
+
+    def test_token_stripped_from_anywhere(self):
+        assert parse_parallel_label("PDL (256B) x4 par") == ("PDL (256B) x4", True)
+        assert parse_parallel_label("PDL (256B) par x4") == ("PDL (256B) x4", True)
+        assert parse_parallel_label("OPU x2") == ("OPU x2", False)
+
+    def test_token_is_word_bounded(self):
+        # 'par' inside another word must not trigger.
+        assert parse_parallel_label("parquet x2") == ("parquet x2", False)
+        assert parse_parallel_label("OPU")[1] is False
+
+    def test_duplicate_token_rejected(self):
+        with pytest.raises(ValueError):
+            parse_parallel_label("OPU x2 par par")
 
 
 class TestLabelParsing:

@@ -3,11 +3,14 @@
 import pytest
 
 from repro.flash.spec import TINY_SPEC
+from repro.ftl.errors import ConfigurationError
+from repro.sharding.executor import ParallelShardedDriver
 from repro.workloads.runner import (
     MethodMeasurement,
     RunnerConfig,
     aging_horizon,
     build_workload,
+    measure_sharded_updates,
     measure_updates,
     warm_to_steady_state,
 )
@@ -75,3 +78,41 @@ class TestMeasurement:
     def test_spec_scaling(self):
         spec = SMALL.spec()
         assert spec.n_pages >= SMALL.database_pages / SMALL.utilization
+
+
+class TestWallClockMeasurement:
+    """measure_sharded_updates: simulated model vs measured wall time."""
+
+    def test_wall_clock_recorded_alongside_simulated_model(self):
+        point = measure_sharded_updates("PDL (64B) x2", SMALL)
+        assert point.wall_s > 0.0
+        assert point.wall_us_per_op == pytest.approx(
+            point.wall_s * 1e6 / point.n_ops
+        )
+        assert point.client_threads == 1
+        assert not point.measured_parallel
+        d = point.as_dict()
+        assert d["wall_s"] == point.wall_s
+        assert d["measured_parallel"] is False
+
+    def test_par_label_builds_and_measures_parallel_driver(self):
+        point = measure_sharded_updates("PDL (64B) x2 par", SMALL)
+        assert point.measured_parallel
+        assert point.label.endswith("par")
+        assert point.serial_us_per_op > 0
+
+    def test_threaded_clients_partition_the_window(self):
+        point = measure_sharded_updates(
+            "PDL (64B) x2 par", SMALL, client_threads=4
+        )
+        assert point.client_threads == 4
+        assert point.measured_parallel
+        assert point.wall_s > 0.0
+
+    def test_threaded_clients_require_parallel_driver(self):
+        with pytest.raises(ConfigurationError):
+            measure_sharded_updates("PDL (64B) x2", SMALL, client_threads=4)
+
+    def test_par_workload_builds_parallel_driver(self):
+        wl = build_workload("PDL (64B) x2 par", SMALL, 2.0, 1)
+        assert isinstance(wl.driver, ParallelShardedDriver)
