@@ -15,12 +15,19 @@ it changes the simulated cost model from "every read touches flash" to
 "cached reads are RAM reads", which is the point, but must be an
 explicit choice for paper-faithful experiments.  Hits and misses are
 counted in :class:`~repro.flash.stats.FlashStats`.
+
+Recency bookkeeping is the shared
+:class:`~repro.storage.bufferpool.policy.LruPolicy` from the buffer-pool
+subsystem — one LRU implementation in the tree, not a private
+``OrderedDict`` copy.  The import is deferred to construction time:
+:mod:`repro.flash.chip` imports this module, and the storage package
+(which hosts the policy) imports the flash layer transitively, so a
+module-level import here would be circular.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from .spare import SpareArea
 
@@ -31,8 +38,11 @@ class ReadCache:
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError("read cache capacity must be at least one page")
+        from ..storage.bufferpool.policy import LruPolicy
+
         self.capacity = capacity
-        self._entries: "OrderedDict[int, Tuple[bytes, SpareArea]]" = OrderedDict()
+        self._policy = LruPolicy(capacity)
+        self._entries: Dict[int, Tuple[bytes, SpareArea]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -43,27 +53,35 @@ class ReadCache:
     def get(self, addr: int) -> Optional[Tuple[bytes, SpareArea]]:
         entry = self._entries.get(addr)
         if entry is not None:
-            self._entries.move_to_end(addr)
+            self._policy.touch(addr)
         return entry
 
     def put(self, addr: int, data: bytes, spare: SpareArea) -> None:
+        if addr in self._entries:
+            self._policy.touch(addr)
+        else:
+            self._policy.admit(addr)
         self._entries[addr] = (data, spare)
-        self._entries.move_to_end(addr)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            victim = self._policy.select_victim(lambda _pid: True)
+            assert victim is not None, "cache entries and policy diverged"
+            self._policy.remove(victim)
+            del self._entries[victim]
 
     def invalidate(self, addr: int) -> None:
-        self._entries.pop(addr, None)
+        if self._entries.pop(addr, None) is not None:
+            self._policy.remove(addr)
 
     def invalidate_range(self, start: int, stop: int) -> None:
         """Drop every cached page in ``[start, stop)`` (block erase)."""
         if len(self._entries) <= stop - start:
             for addr in list(self._entries):
                 if start <= addr < stop:
-                    del self._entries[addr]
+                    self.invalidate(addr)
         else:
             for addr in range(start, stop):
-                self._entries.pop(addr, None)
+                self.invalidate(addr)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._policy = type(self._policy)(self.capacity)

@@ -57,6 +57,47 @@ def percentile(samples: List[float], pct: float) -> float:
     return ordered[int(rank) - 1]
 
 
+class LatencyRecorder:
+    """A bag of latency samples with nearest-rank percentile reads.
+
+    Shared by the stats layers that meter per-event stalls (the buffer
+    pool's client-visible eviction stalls; merged views pool several
+    recorders with :meth:`extend`).  Samples are microseconds; zero
+    samples are recorded too, so percentiles are over *all* events
+    rather than only the stalled ones — the same convention as
+    :meth:`FlashStats.record_write_stall`.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+
+    def record(self, us: float) -> None:
+        self.samples.append(us)
+
+    def extend(self, other: "LatencyRecorder") -> None:
+        self.samples.extend(other.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def max_us(self) -> float:
+        return max(self.samples, default=0.0)
+
+    @property
+    def mean_us(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, pct: float) -> float:
+        return percentile(self.samples, pct)
+
+    def reset(self) -> None:
+        self.samples = []
+
+
 @dataclass
 class OpCounts:
     """Operation counts and simulated time for one phase."""

@@ -141,7 +141,20 @@ class ShardedDriver(PageUpdateMethod):
         """Write-through over the whole array (see :meth:`group_flush`)."""
         self.group_flush()
 
-    def group_flush(self) -> None:
+    def _split_by_shard(self, pages, update_logs=None) -> Dict[int, tuple]:
+        """Group ``(pid, data)`` pairs (and their logs) by owning shard."""
+        per_shard: Dict[int, List] = {}
+        for pid, data in pages:
+            per_shard.setdefault(self.shard_index(pid), []).append((pid, data))
+        out: Dict[int, tuple] = {}
+        for index, group in per_shard.items():
+            logs = None
+            if update_logs is not None:
+                logs = {pid: update_logs[pid] for pid, _ in group if pid in update_logs}
+            out[index] = (group, logs)
+        return out
+
+    def group_flush(self, pages=None, update_logs=None) -> None:
         """Batched flush: drain every shard's buffers in one call.
 
         All shards flush before control returns, so a caller observing
@@ -153,9 +166,25 @@ class ShardedDriver(PageUpdateMethod):
         :class:`~repro.sharding.executor.ParallelShardedDriver`
         overrides this method to fan them out across its worker threads
         for real wall-clock overlap — see ``docs/concurrency.md``.
+
+        ``pages`` (with optional ``update_logs``) is the buffer-pool
+        flush entry point: the batch is reflected shard-by-shard and
+        each shard's buffers are drained in the same pass, so a pool's
+        ``flush_all`` is one driver call instead of a ``write_pages``
+        followed by a separate flush sweep.  Per-shard operation order
+        is identical to the two-call sequence (writes, then flush).
         """
-        for shard in self.shards:
-            shard.flush()
+        if pages is None:
+            for shard in self.shards:
+                shard.flush()
+        else:
+            split = self._split_by_shard(pages, update_logs)
+            for index, shard in enumerate(self.shards):
+                entry = split.get(index)
+                if entry is not None:
+                    group, logs = entry
+                    shard.write_pages(group, update_logs=logs)
+                shard.flush()
         self.group_flushes += 1
 
     # ------------------------------------------------------------------

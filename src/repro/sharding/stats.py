@@ -140,6 +140,53 @@ class AggregateStats:
         return sum(stats.gc_step_pages for stats in self._shards)
 
     # ------------------------------------------------------------------
+    # Read-cache aggregation
+    # ------------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return sum(stats.cache_hits for stats in self._shards)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(stats.cache_misses for stats in self._shards)
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        accesses = self.cache_hits + self.cache_misses
+        return self.cache_hits / accesses if accesses else 0.0
+
+    # ------------------------------------------------------------------
+    # Merged reporting (flash totals + optional buffer-pool counters)
+    # ------------------------------------------------------------------
+    def report(self, buffer_stats=None) -> Dict[str, object]:
+        """One dict with the array's flash totals and tail metrics.
+
+        ``buffer_stats`` — a
+        :class:`~repro.storage.bufferpool.stats.BufferStats` — embeds
+        the buffer-pool view under ``"buffer"``, so a workload report
+        shows cache behaviour, write-back activity and eviction stalls
+        next to the device traffic they caused (the Experiment-7
+        coupling, as one artifact).
+        """
+        totals = self.totals()
+        out: Dict[str, object] = {
+            "n_shards": len(self._shards),
+            "reads": totals.reads,
+            "writes": totals.writes,
+            "erases": totals.erases,
+            "io_time_us": totals.time_us,
+            "write_stall_p99_us": self.write_stall_percentile(99),
+            "write_stall_max_us": self.max_write_stall_us,
+            "gc_steps": self.gc_steps,
+            "gc_step_pages": self.gc_step_pages,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+        if buffer_stats is not None:
+            out["buffer"] = buffer_stats.as_dict()
+        return out
+
+    # ------------------------------------------------------------------
     # Snapshots (the steady-state measurement window protocol)
     # ------------------------------------------------------------------
     def snapshot(self) -> StatsSnapshot:

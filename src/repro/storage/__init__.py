@@ -1,13 +1,23 @@
 """Mini-DBMS storage substrate (S7 in DESIGN.md).
 
 A page-based storage engine standing in for the Odysseus ORDBMS storage
-layer the paper used: buffer pool with write-back through any page-update
-driver, change-log recording (the tightly-coupled hook), slotted pages,
-heap files, and a paged B+tree.
+layer the paper used: a buffer-pool subsystem with pluggable eviction
+policies and optional background write-back (:mod:`.bufferpool`),
+change-log recording (the tightly-coupled hook), slotted pages, heap
+files, and a paged B+tree.
 """
 
 from .btree import BTree, BTreeError
-from .buffer import BufferError, BufferManager, BufferStats
+from .bufferpool import (
+    BufferError,
+    BufferManager,
+    BufferStats,
+    EvictionPolicy,
+    WritebackConfig,
+    eviction_policy_names,
+    make_eviction_policy,
+    register_eviction_policy,
+)
 from .db import Database
 from .heap import RID, HeapFile
 from .page import Page
@@ -20,9 +30,14 @@ __all__ = [
     "BufferManager",
     "BufferStats",
     "Database",
+    "EvictionPolicy",
     "HeapFile",
     "Page",
     "RID",
     "SlottedPage",
     "SlottedPageError",
+    "WritebackConfig",
+    "eviction_policy_names",
+    "make_eviction_policy",
+    "register_eviction_policy",
 ]

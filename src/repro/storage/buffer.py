@@ -1,148 +1,11 @@
-"""The DBMS buffer pool (LRU with write-back through a page-update driver).
+"""Compatibility shim: the buffer pool grew into :mod:`.bufferpool`.
 
-The paper's Experiment 7 varies the DBMS buffer size from 0.1 % to 10 %
-of the database and measures the flash I/O each page-update method incurs
-on evictions and misses; this module is that buffer.
-
-Evicting a dirty page calls ``driver.write_page`` with the page's
-accumulated update logs — which only the tightly-coupled IPL driver
-consumes — and a miss calls ``driver.read_page``.  The pool never touches
-flash for hits, which is how ``N_updates_till_write > 1`` behaviour
-arises naturally under locality.
+The original single-file LRU pool lives on as the default configuration
+of the package (``policy="lru"``, ``writeback=None`` — byte-identical
+flash behaviour); import from :mod:`repro.storage.bufferpool` for the
+policy registry and write-back machinery.
 """
 
-from __future__ import annotations
+from .bufferpool import BufferError, BufferManager, BufferStats
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
-
-from ..ftl.base import PageUpdateMethod
-from .page import Page
-
-
-class BufferError(RuntimeError):
-    """Raised on pool misuse (e.g. all frames pinned)."""
-
-
-@dataclass
-class BufferStats:
-    """Hit/miss accounting for one pool."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    dirty_evictions: int = 0
-    flushes: int = 0
-
-    @property
-    def accesses(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_ratio(self) -> float:
-        return self.hits / self.accesses if self.accesses else 0.0
-
-
-class BufferManager:
-    """A fixed-capacity LRU buffer pool over a page-update driver."""
-
-    def __init__(self, driver: PageUpdateMethod, capacity: int):
-        if capacity < 1:
-            raise ValueError("buffer capacity must be at least one page")
-        self.driver = driver
-        self.capacity = capacity
-        self._frames: "OrderedDict[int, Page]" = OrderedDict()
-        self.stats = BufferStats()
-
-    # ------------------------------------------------------------------
-    # Page access
-    # ------------------------------------------------------------------
-    def get_page(self, pid: int) -> Page:
-        """Fetch a page, reading it from flash on a miss."""
-        page = self._frames.get(pid)
-        if page is not None:
-            self._frames.move_to_end(pid)
-            self.stats.hits += 1
-            return page
-        self.stats.misses += 1
-        data = self.driver.read_page(pid)
-        page = Page(pid, data)
-        self._admit(page)
-        return page
-
-    def create_page(self, pid: int, data: bytes) -> Page:
-        """Materialize a brand-new logical page (not yet in flash).
-
-        The page enters the pool dirty; its first eviction or flush
-        performs the initial flash write.
-        """
-        if pid in self._frames:
-            raise BufferError(f"page {pid} already buffered")
-        page = Page(pid, data)
-        page.dirty = True
-        self._admit(page)
-        return page
-
-    def __contains__(self, pid: int) -> bool:
-        return pid in self._frames
-
-    def __len__(self) -> int:
-        return len(self._frames)
-
-    # ------------------------------------------------------------------
-    # Write-back
-    # ------------------------------------------------------------------
-    def flush_page(self, pid: int) -> None:
-        page = self._frames.get(pid)
-        if page is not None and page.dirty:
-            self._write_back(page)
-            self.stats.flushes += 1
-
-    def flush_all(self) -> None:
-        """Write back every dirty page and the driver's own buffers.
-
-        Dirty pages go down in one :meth:`PageUpdateMethod.write_pages`
-        call (LRU order, as before) so drivers can batch the flash I/O —
-        PDL batches the base-page re-reads its differentials need.
-        """
-        dirty = [page for page in self._frames.values() if page.dirty]
-        if dirty:
-            logs = None
-            if self.driver.tightly_coupled:
-                logs = {page.pid: page.change_log for page in dirty}
-            self.driver.write_pages(
-                [(page.pid, page.data) for page in dirty], update_logs=logs
-            )
-            for page in dirty:
-                page.clear_log()
-                self.stats.flushes += 1
-        self.driver.flush()
-
-    def _write_back(self, page: Page) -> None:
-        logs = page.change_log if self.driver.tightly_coupled else None
-        self.driver.write_page(page.pid, page.data, update_logs=logs)
-        page.clear_log()
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _admit(self, page: Page) -> None:
-        while len(self._frames) >= self.capacity:
-            self._evict_one()
-        self._frames[page.pid] = page
-
-    def _evict_one(self) -> None:
-        for pid, victim in self._frames.items():
-            if victim.pin_count == 0:
-                break
-        else:
-            raise BufferError("all buffer frames are pinned")
-        del self._frames[pid]
-        self.stats.evictions += 1
-        if victim.dirty:
-            self.stats.dirty_evictions += 1
-            self._write_back(victim)
-
-    def pages(self) -> Iterator[Page]:
-        return iter(self._frames.values())
+__all__ = ["BufferError", "BufferManager", "BufferStats"]

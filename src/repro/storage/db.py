@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import asdict
 from typing import List, Optional
 
@@ -39,7 +40,7 @@ from ..flash.chip import FlashChip
 from ..flash.spec import BENCH_SPEC, FlashSpec
 from ..ftl.base import PageUpdateMethod
 from ..ftl.errors import ConfigurationError, UnallocatedPageError
-from .buffer import BufferManager, BufferStats
+from .bufferpool import BufferManager, BufferStats
 from .page import Page
 
 #: Name of the per-database configuration manifest.
@@ -63,18 +64,37 @@ def _chips_of(driver: PageUpdateMethod) -> List[FlashChip]:
 class Database:
     """A minimal page-based database instance."""
 
-    def __init__(self, driver: PageUpdateMethod, buffer_capacity: int):
+    def __init__(
+        self,
+        driver: PageUpdateMethod,
+        buffer_capacity: int,
+        *,
+        buffer_policy: str = "lru",
+        writeback=None,
+    ):
         self.driver = driver
-        self.pool = BufferManager(driver, buffer_capacity)
+        self.pool = BufferManager(
+            driver, buffer_capacity, policy=buffer_policy, writeback=writeback
+        )
         self.page_size = driver.page_size
         self._next_pid = 0
+        #: Guards the allocation horizon: clients may share one engine
+        #: across threads (see docs/bufferpool.md), so handing out the
+        #: same pid twice must be impossible.
+        self._alloc_lock = threading.Lock()
         self._closed = False
         #: Directory this database persists to; None for volatile setups.
         self.path: Optional[str] = None
 
     @classmethod
     def resume(
-        cls, driver: PageUpdateMethod, buffer_capacity: int, allocated_pages: int
+        cls,
+        driver: PageUpdateMethod,
+        buffer_capacity: int,
+        allocated_pages: int,
+        *,
+        buffer_policy: str = "lru",
+        writeback=None,
     ) -> "Database":
         """Re-attach to an existing (e.g. just-recovered) driver.
 
@@ -84,7 +104,12 @@ class Database:
         """
         if allocated_pages < 0:
             raise ValueError("allocated_pages must be non-negative")
-        db = cls(driver, buffer_capacity)
+        db = cls(
+            driver,
+            buffer_capacity,
+            buffer_policy=buffer_policy,
+            writeback=writeback,
+        )
         db._next_pid = allocated_pages
         return db
 
@@ -102,6 +127,8 @@ class Database:
         max_differential_size: Optional[int] = None,
         read_cache_pages: int = 0,
         parallel: bool = False,
+        buffer_policy: str = "lru",
+        writeback=None,
         **driver_kwargs,
     ) -> "Database":
         """Open (or create) a persistent PDL database at ``path``.
@@ -128,6 +155,15 @@ class Database:
         (see ``docs/concurrency.md``).  Like GC tuning, it is runtime —
         not manifest — state: pass it again on reopen.
 
+        ``buffer_policy`` selects the buffer pool's eviction policy from
+        the registry (``"lru"`` — the default and the paper-faithful
+        configuration — ``"clock"``, or the scan-resistant ``"2q"``);
+        ``writeback`` turns on background write-back (``"background"``
+        or a :class:`~repro.storage.bufferpool.WritebackConfig`;
+        ``None``/``"sync"`` keeps the historical synchronous behaviour).
+        Both are runtime — not manifest — state, like ``parallel``; see
+        ``docs/bufferpool.md``.
+
         ``read_cache_pages`` enables the per-chip LRU base-page read
         cache; remaining keyword arguments go to the (per-shard)
         :class:`~repro.core.pdl.PdlDriver` constructor or recovery.
@@ -138,6 +174,7 @@ class Database:
         state: pass it again on reopen.
         """
         path = os.fspath(path)
+        pool_kwargs = {"buffer_policy": buffer_policy, "writeback": writeback}
         manifest_path = os.path.join(path, MANIFEST_NAME)
         if os.path.exists(manifest_path):
             return cls._open_existing(
@@ -148,6 +185,7 @@ class Database:
                 max_differential_size,
                 read_cache_pages,
                 parallel,
+                pool_kwargs,
                 driver_kwargs,
             )
         return cls._create_new(
@@ -158,6 +196,7 @@ class Database:
             max_differential_size if max_differential_size is not None else 256,
             read_cache_pages,
             parallel,
+            pool_kwargs,
             driver_kwargs,
         )
 
@@ -171,6 +210,7 @@ class Database:
         max_differential_size: int,
         read_cache_pages: int,
         parallel: bool,
+        pool_kwargs: dict,
         driver_kwargs: dict,
     ) -> "Database":
         if n_shards < 1:
@@ -203,7 +243,7 @@ class Database:
         }
         with open(os.path.join(path, MANIFEST_NAME), "w", encoding="utf-8") as fh:
             json.dump(manifest, fh, indent=2, sort_keys=True)
-        db = cls(driver, buffer_capacity)
+        db = cls(driver, buffer_capacity, **pool_kwargs)
         db.path = path
         return db
 
@@ -217,6 +257,7 @@ class Database:
         max_differential_size: Optional[int],
         read_cache_pages: int,
         parallel: bool,
+        pool_kwargs: dict,
         driver_kwargs: dict,
     ) -> "Database":
         with open(os.path.join(path, MANIFEST_NAME), encoding="utf-8") as fh:
@@ -279,7 +320,9 @@ class Database:
                 parallel=parallel,
                 **driver_kwargs,
             )
-        db = cls.resume(driver, buffer_capacity, _allocation_horizon(driver))
+        db = cls.resume(
+            driver, buffer_capacity, _allocation_horizon(driver), **pool_kwargs
+        )
         db.path = path
         return db
 
@@ -316,16 +359,22 @@ class Database:
         """
         if self._closed:
             return
-        self.flush()
-        driver_close = getattr(self.driver, "close", None)
-        if driver_close is not None:
-            # Sharded drivers close their own chips; the parallel driver
-            # additionally stops its worker pool.
-            driver_close()
-        else:
-            for chip in _chips_of(self.driver):
-                chip.close()
-        self._closed = True
+        try:
+            self.flush()
+        finally:
+            # Even when the flush surfaces a write-back daemon error,
+            # the daemon and the device backends must still be released
+            # (the synchronous flush itself completed first).
+            self.pool.close()  # stop the write-back daemon before the driver
+            driver_close = getattr(self.driver, "close", None)
+            if driver_close is not None:
+                # Sharded drivers close their own chips; the parallel
+                # driver additionally stops its worker pool.
+                driver_close()
+            else:
+                for chip in _chips_of(self.driver):
+                    chip.close()
+            self._closed = True
 
     def __enter__(self) -> "Database":
         return self
@@ -338,8 +387,9 @@ class Database:
     # ------------------------------------------------------------------
     def allocate_page(self) -> Page:
         """Create a fresh, zero-filled logical page (dirty in the pool)."""
-        pid = self._next_pid
-        self._next_pid += 1
+        with self._alloc_lock:
+            pid = self._next_pid
+            self._next_pid += 1
         return self.pool.create_page(pid, bytes(self.page_size))
 
     def page(self, pid: int) -> Page:
@@ -373,6 +423,21 @@ class Database:
     @property
     def buffer_stats(self) -> BufferStats:
         return self.pool.stats
+
+    def report(self) -> dict:
+        """Merged flash + buffer-pool report (one dict for dashboards).
+
+        Flash totals, stall tails and GC counters come from the driver's
+        stats (an :class:`~repro.sharding.stats.AggregateStats` view is
+        built for single-chip drivers), with the extended
+        :class:`BufferStats` embedded under ``"buffer"``.
+        """
+        stats = self.driver.stats
+        if not hasattr(stats, "report"):
+            from ..sharding.stats import AggregateStats
+
+            stats = AggregateStats([stats])
+        return stats.report(buffer_stats=self.pool.stats)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

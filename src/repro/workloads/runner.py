@@ -22,6 +22,7 @@ concurrent clients (see ``docs/concurrency.md``).
 from __future__ import annotations
 
 import math
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -35,6 +36,7 @@ from ..ftl.errors import ConfigurationError
 from ..methods import make_method, parse_gc_label, parse_parallel_label, parse_sharded_label
 from ..sharding.driver import ShardedDriver
 from ..sharding.executor import ParallelShardedDriver
+from ..storage.db import Database
 from .synthetic import SyntheticConfig, SyntheticWorkload
 
 
@@ -413,6 +415,276 @@ def measure_sharded_updates(
         client_threads=client_threads,
         measured_parallel=isinstance(driver, ParallelShardedDriver),
     )
+
+
+@dataclass
+class BufferPoolMeasurement:
+    """One point of the buffer-pool sweep (``bench_exp7_fig18 --tiny``).
+
+    Captures what the subsystem's knobs actually move: how evictions
+    were served (clean reclaim vs synchronous backstop), the
+    client-visible eviction-stall tail in host microseconds, the hit
+    ratio, and the flash traffic behind it all.
+    """
+
+    label: str
+    workload: str  # "skewed-update" or "scan-mix"
+    policy: str
+    writeback: str  # "sync" or "background"
+    buffer_pages: int
+    n_ops: int
+    hit_ratio: float
+    eviction_stall_p99_us: float
+    eviction_stall_max_us: float
+    evictions: int
+    clean_reclaims: int
+    sync_writebacks: int
+    writeback_batches: int
+    writeback_pages: int
+    flash_reads: int
+    flash_writes: int
+    io_time_us: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "workload": self.workload,
+            "policy": self.policy,
+            "writeback": self.writeback,
+            "buffer_pages": self.buffer_pages,
+            "n_ops": self.n_ops,
+            "hit_ratio": self.hit_ratio,
+            "eviction_stall_p99_us": self.eviction_stall_p99_us,
+            "eviction_stall_max_us": self.eviction_stall_max_us,
+            "evictions": self.evictions,
+            "clean_reclaims": self.clean_reclaims,
+            "sync_writebacks": self.sync_writebacks,
+            "writeback_batches": self.writeback_batches,
+            "writeback_pages": self.writeback_pages,
+            "flash_reads": self.flash_reads,
+            "flash_writes": self.flash_writes,
+            "io_time_us": self.io_time_us,
+        }
+
+
+def build_buffered_db(
+    label: str,
+    runner: RunnerConfig,
+    buffer_pages: int,
+    *,
+    policy: str = "lru",
+    writeback=None,
+    method_kwargs: Optional[Dict] = None,
+) -> Database:
+    """Chip(s) + driver + loaded database behind a configured pool.
+
+    The initial image is bulk-loaded straight through the driver (not
+    the pool), then a :class:`~repro.storage.db.Database` is resumed on
+    top with the requested eviction policy and write-back mode, and the
+    stats are reset so measurements see only buffered traffic.
+    """
+    plain, _gc = parse_gc_label(label)
+    plain, _par = parse_parallel_label(plain)
+    _base, n_shards = parse_sharded_label(plain)
+    if n_shards is None:
+        chip = FlashChip(runner.spec())
+    else:
+        shard_spec = runner.shard_spec(n_shards)
+        chip = [FlashChip(shard_spec) for _ in range(n_shards)]
+    driver = make_method(label, chip, **(method_kwargs or {}))
+    rng = random.Random(runner.seed)
+    driver.load_pages(
+        [(pid, rng.randbytes(driver.page_size)) for pid in range(runner.database_pages)]
+    )
+    driver.end_of_load()
+    driver.stats.reset()
+    return Database.resume(
+        driver,
+        buffer_pages,
+        runner.database_pages,
+        buffer_policy=policy,
+        writeback=writeback,
+    )
+
+
+def _pool_measurement(
+    db: Database, label: str, workload: str, n_ops: int
+) -> BufferPoolMeasurement:
+    stats = db.buffer_stats
+    totals = db.driver.stats.totals()
+    return BufferPoolMeasurement(
+        label=label,
+        workload=workload,
+        policy=stats.policy,
+        writeback="background" if db.pool.writeback is not None else "sync",
+        buffer_pages=db.pool.capacity,
+        n_ops=n_ops,
+        hit_ratio=stats.hit_ratio,
+        eviction_stall_p99_us=stats.eviction_stall_percentile(99),
+        eviction_stall_max_us=stats.max_eviction_stall_us,
+        evictions=stats.evictions,
+        clean_reclaims=stats.clean_reclaims,
+        sync_writebacks=stats.sync_writebacks,
+        writeback_batches=stats.writeback_batches,
+        writeback_pages=stats.writeback_pages,
+        flash_reads=totals.reads,
+        flash_writes=totals.writes,
+        io_time_us=totals.time_us,
+    )
+
+
+def measure_buffered_updates(
+    label: str,
+    runner: RunnerConfig,
+    *,
+    buffer_fraction: float = 0.15,
+    policy: str = "lru",
+    writeback=None,
+    hot_fraction: float = 0.9,
+    change_bytes: int = 16,
+    method_kwargs: Optional[Dict] = None,
+) -> BufferPoolMeasurement:
+    """Skewed updates through the buffer pool (the write-back workload).
+
+    90 % of updates hit 10 % of the pages (the shape heavy user traffic
+    has); the pool is far smaller than the working set, so almost every
+    miss needs an eviction.  With synchronous write-back each dirty
+    eviction stalls the client on flash; with the background daemon the
+    eviction path mostly reclaims frames the daemon already cleaned —
+    ``eviction_stall_p99_us`` is the comparison the buffer-pool
+    benchmark asserts.
+    """
+    buffer_pages = max(4, int(runner.database_pages * buffer_fraction))
+    db = build_buffered_db(
+        label, runner, buffer_pages,
+        policy=policy, writeback=writeback, method_kwargs=method_kwargs,
+    )
+    try:
+        rng = random.Random(runner.seed + 1)
+        n_pages = runner.database_pages
+        hot_pages = max(1, n_pages // 10)
+        for _ in range(runner.measure_ops):
+            if rng.random() < hot_fraction:
+                pid = rng.randrange(hot_pages)
+            else:
+                pid = rng.randrange(n_pages)
+            with db.pool.pinned(pid) as page:
+                offset = rng.randrange(page.size - change_bytes)
+                page.write(offset, rng.randbytes(change_bytes))
+        db.flush()
+        return _pool_measurement(db, label, "skewed-update", runner.measure_ops)
+    finally:
+        db.pool.close()
+        close = getattr(db.driver, "close", None)
+        if close is not None:
+            close()
+
+
+def measure_scan_mix(
+    label: str,
+    runner: RunnerConfig,
+    *,
+    buffer_fraction: float = 0.15,
+    policy: str = "lru",
+    writeback=None,
+    scan_every: int = 400,
+    write_fraction: float = 0.5,
+    warmup_cycles: int = 2,
+    method_kwargs: Optional[Dict] = None,
+) -> BufferPoolMeasurement:
+    """A TPC-C-shaped mix: hot-record traffic with table scans underneath.
+
+    Point accesses hammer a hot set that fits in the pool; full
+    sequential scans (the STOCK-LEVEL / reporting shape) sweep every
+    page *while the point traffic keeps running*, which is how a real
+    system meets a scan.  Under LRU every sweep floods the pool and
+    flushes the hot set; the scan-resistant 2Q policy keeps scan pages
+    in its FIFO probation queue while re-referenced hot pages live in
+    the protected LRU, so the hot set survives the sweep — higher hit
+    ratio *and* fewer dirty evictions, hence no extra flash writes.
+    Measured over a steady window after ``warmup_cycles`` scan cycles.
+    """
+    buffer_pages = max(8, int(runner.database_pages * buffer_fraction))
+    db = build_buffered_db(
+        label, runner, buffer_pages,
+        policy=policy, writeback=writeback, method_kwargs=method_kwargs,
+    )
+    try:
+        rng = random.Random(runner.seed + 2)
+        n_pages = runner.database_pages
+        hot_pages = max(1, n_pages // 10)
+
+        def hot_access() -> None:
+            pid = rng.randrange(hot_pages)
+            with db.pool.pinned(pid) as page:
+                if rng.random() < write_fraction:
+                    offset = rng.randrange(page.size - 8)
+                    page.write(offset, rng.randbytes(8))
+                else:
+                    page.read(0, 8)
+
+        def one_cycle() -> int:
+            ops = 0
+            for _ in range(scan_every):  # pure OLTP burst
+                hot_access()
+                ops += 1
+            for pid in range(n_pages):  # the scan, OLTP still running
+                db.page(pid).read(0, 8)
+                ops += 1
+                if pid % 2 == 0:
+                    hot_access()
+                    ops += 1
+            return ops
+
+        for _ in range(warmup_cycles):
+            one_cycle()
+        # Everything below is windowed past the warm-up — buffer
+        # counters included, so stall/eviction columns describe the
+        # same steady window as the hit ratio and flash traffic.
+        stats = db.buffer_stats
+        before = stats.as_dict()
+        stalls0 = stats.eviction_stalls.count
+        snap = db.driver.stats.snapshot()
+        n_ops = 0
+        cycles = max(2, runner.measure_ops // (scan_every + n_pages))
+        for _ in range(cycles):
+            n_ops += one_cycle()
+        db.flush()
+        delta = db.driver.stats.delta_since(snap)
+        after = stats.as_dict()
+
+        def window(key: str) -> int:
+            return after[key] - before[key]
+
+        hits, misses = window("hits"), window("misses")
+        accesses = hits + misses
+        window_stalls = stats.eviction_stalls.samples[stalls0:]
+        from ..flash.stats import percentile
+
+        return BufferPoolMeasurement(
+            label=label,
+            workload="scan-mix",
+            policy=stats.policy,
+            writeback="background" if db.pool.writeback is not None else "sync",
+            buffer_pages=db.pool.capacity,
+            n_ops=n_ops,
+            hit_ratio=hits / accesses if accesses else 0.0,
+            eviction_stall_p99_us=percentile(window_stalls, 99),
+            eviction_stall_max_us=max(window_stalls, default=0.0),
+            evictions=window("evictions"),
+            clean_reclaims=window("clean_reclaims"),
+            sync_writebacks=window("sync_writebacks"),
+            writeback_batches=window("writeback_batches"),
+            writeback_pages=window("writeback_pages"),
+            flash_reads=delta.totals().reads,
+            flash_writes=delta.totals().writes,
+            io_time_us=delta.totals().time_us,
+        )
+    finally:
+        db.pool.close()
+        close = getattr(db.driver, "close", None)
+        if close is not None:
+            close()
 
 
 def _measurement(label: str, n_ops: int, delta) -> MethodMeasurement:

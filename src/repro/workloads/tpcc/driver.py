@@ -38,6 +38,14 @@ class TpccMeasurement:
     hit_ratio: float
     erases: int
     counts: TxnCounts
+    #: Buffer-pool configuration of this point (Experiment-7 extension).
+    buffer_policy: str = "lru"
+    writeback: str = "sync"
+    #: Flash operations of the measured window.
+    flash_reads: int = 0
+    flash_writes: int = 0
+    #: Client-visible eviction stall tail over the measured window (host µs).
+    eviction_stall_p99_us: float = 0.0
 
 
 def estimate_database_pages(scale: TpccScale, page_size: int = 2048) -> int:
@@ -65,8 +73,15 @@ def run_tpcc(
     warmup_transactions: Optional[int] = None,
     seed: int = 7,
     base_spec: Optional[FlashSpec] = None,
+    buffer_policy: str = "lru",
+    writeback=None,
 ) -> TpccMeasurement:
-    """Measure one (method, buffer size) point of Figure 18."""
+    """Measure one (method, buffer size) point of Figure 18.
+
+    ``buffer_policy`` / ``writeback`` extend the paper's sweep with the
+    buffer-pool subsystem's knobs; the defaults (``"lru"``, sync
+    write-back) reproduce the paper's configuration exactly.
+    """
     if not 0.0 < buffer_fraction <= 1.0:
         raise ValueError("buffer_fraction must be in (0, 1]")
     est_pages = estimate_database_pages(scale)
@@ -78,38 +93,49 @@ def run_tpcc(
     chip = FlashChip(spec)
     driver = make_method(label, chip)
     # Load through a generous buffer, then shrink to the measured size.
-    load_db = Database(driver, buffer_capacity=max(est_pages // 2, 256))
-    tpcc = TpccDatabase(load_db, scale, seed=seed)
-    tpcc.load()
-    database_pages = load_db.allocated_pages
-    buffer_pages = max(4, int(database_pages * buffer_fraction))
-    load_db.pool.capacity = buffer_pages
-    while len(load_db.pool) > buffer_pages:
-        load_db.pool._evict_one()  # shrink to the measured size
-    workload = TpccWorkload(tpcc, seed=seed)
-    if warmup_transactions is None:
-        warmup_transactions = max(100, n_transactions // 4)
-    workload.run(warmup_transactions)
-    snap = chip.stats.snapshot()
-    hits0, misses0 = load_db.buffer_stats.hits, load_db.buffer_stats.misses
-    counts0 = workload.counts.total
-    workload.run(n_transactions)
-    delta = chip.stats.delta_since(snap)
-    accesses = (
-        load_db.buffer_stats.hits
-        - hits0
-        + load_db.buffer_stats.misses
-        - misses0
+    load_db = Database(
+        driver,
+        buffer_capacity=max(est_pages // 2, 256),
+        buffer_policy=buffer_policy,
+        writeback=writeback,
     )
-    hits = load_db.buffer_stats.hits - hits0
-    return TpccMeasurement(
-        label=label,
-        buffer_fraction=buffer_fraction,
-        buffer_pages=buffer_pages,
-        database_pages=database_pages,
-        transactions=workload.counts.total - counts0,
-        io_us_per_txn=delta.total_time_us / n_transactions,
-        hit_ratio=hits / accesses if accesses else 0.0,
-        erases=delta.total_erases,
-        counts=workload.counts,
-    )
+    try:
+        tpcc = TpccDatabase(load_db, scale, seed=seed)
+        tpcc.load()
+        database_pages = load_db.allocated_pages
+        buffer_pages = max(4, int(database_pages * buffer_fraction))
+        load_db.pool.capacity = buffer_pages  # shrink to the measured size
+        workload = TpccWorkload(tpcc, seed=seed)
+        if warmup_transactions is None:
+            warmup_transactions = max(100, n_transactions // 4)
+        workload.run(warmup_transactions)
+        snap = chip.stats.snapshot()
+        stats = load_db.buffer_stats
+        hits0, misses0 = stats.hits, stats.misses
+        stalls0 = stats.eviction_stalls.count
+        counts0 = workload.counts.total
+        workload.run(n_transactions)
+        delta = chip.stats.delta_since(snap)
+        accesses = stats.hits - hits0 + stats.misses - misses0
+        hits = stats.hits - hits0
+        window_stalls = stats.eviction_stalls.samples[stalls0:]
+        from ...flash.stats import percentile
+
+        return TpccMeasurement(
+            label=label,
+            buffer_fraction=buffer_fraction,
+            buffer_pages=buffer_pages,
+            database_pages=database_pages,
+            transactions=workload.counts.total - counts0,
+            io_us_per_txn=delta.total_time_us / n_transactions,
+            hit_ratio=hits / accesses if accesses else 0.0,
+            erases=delta.total_erases,
+            counts=workload.counts,
+            buffer_policy=buffer_policy,
+            writeback="background" if load_db.pool.writeback is not None else "sync",
+            flash_reads=delta.totals().reads,
+            flash_writes=delta.totals().writes,
+            eviction_stall_p99_us=percentile(window_stalls, 99),
+        )
+    finally:
+        load_db.pool.close()  # stop the write-back daemon, if any

@@ -71,20 +71,17 @@ class TestEviction:
 
     def test_pinned_pages_survive(self, pool, driver):
         _load(driver, 6)
-        page = pool.get_page(0)
-        page.pin()
-        for pid in range(1, 5):
-            pool.get_page(pid)
-        assert 0 in pool
-        page.unpin()
+        with pool.get_page(0).pinned():
+            for pid in range(1, 5):
+                pool.get_page(pid)
+            assert 0 in pool
 
     def test_all_pinned_raises(self, driver):
         pool = BufferManager(driver, capacity=2)
         _load(driver, 3)
-        pool.get_page(0).pin()
-        pool.get_page(1).pin()
-        with pytest.raises(BufferError):
-            pool.get_page(2)
+        with pool.pinned(0), pool.pinned(1):
+            with pytest.raises(BufferError):
+                pool.get_page(2)
 
 
 class TestCreateAndFlush:

@@ -1,0 +1,180 @@
+"""The default pool must be byte-identical to the pre-package LRU pool.
+
+The paper experiments were validated against the original 148-line
+synchronous LRU ``BufferManager``; the bufferpool package replaces it,
+so ``policy="lru"`` + ``writeback=None`` must reproduce its flash state
+*byte for byte* — same victims, same write order, same driver calls.
+``_LegacyBufferManager`` below is a faithful copy of the old
+implementation; a randomized op trace (reads, writes, creates, pins,
+per-page flushes, full flushes) is replayed against both pools over
+identical chips and the complete device images are compared.
+"""
+
+import random
+from collections import OrderedDict
+
+import pytest
+
+from repro.core.pdl import PdlDriver
+from repro.flash.chip import FlashChip
+from repro.flash.spec import FlashSpec
+from repro.methods import make_method
+from repro.storage.bufferpool import BufferManager
+from repro.storage.page import Page
+
+SPEC = FlashSpec(n_blocks=24, pages_per_block=8, page_data_size=256, page_spare_size=16)
+
+
+class _LegacyBufferManager:
+    """The original storage/buffer.py pool, verbatim (minus docstrings)."""
+
+    def __init__(self, driver, capacity):
+        self.driver = driver
+        self.capacity = capacity
+        self._frames = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.flushes = 0
+
+    def get_page(self, pid):
+        page = self._frames.get(pid)
+        if page is not None:
+            self._frames.move_to_end(pid)
+            self.hits += 1
+            return page
+        self.misses += 1
+        data = self.driver.read_page(pid)
+        page = Page(pid, data)
+        self._admit(page)
+        return page
+
+    def create_page(self, pid, data):
+        page = Page(pid, data)
+        page.dirty = True
+        self._admit(page)
+        return page
+
+    def flush_page(self, pid):
+        page = self._frames.get(pid)
+        if page is not None and page.dirty:
+            self._write_back(page)
+            self.flushes += 1
+
+    def flush_all(self):
+        dirty = [page for page in self._frames.values() if page.dirty]
+        if dirty:
+            logs = None
+            if self.driver.tightly_coupled:
+                logs = {page.pid: page.change_log for page in dirty}
+            self.driver.write_pages(
+                [(page.pid, page.data) for page in dirty], update_logs=logs
+            )
+            for page in dirty:
+                page.clear_log()
+                self.flushes += 1
+        self.driver.flush()
+
+    def _write_back(self, page):
+        logs = page.change_log if self.driver.tightly_coupled else None
+        self.driver.write_page(page.pid, page.data, update_logs=logs)
+        page.clear_log()
+
+    def _admit(self, page):
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[page.pid] = page
+
+    def _evict_one(self):
+        for pid, victim in self._frames.items():
+            if victim.pin_count == 0:
+                break
+        else:
+            raise RuntimeError("all buffer frames are pinned")
+        del self._frames[pid]
+        self.evictions += 1
+        if victim.dirty:
+            self.dirty_evictions += 1
+            self._write_back(victim)
+
+
+def _flash_image(chip):
+    """Every page's raw data + spare bytes, plus per-block erase counts."""
+    pages = [
+        (chip.backend.read_data(addr), chip.backend.read_spare(addr))
+        for addr in range(chip.spec.n_pages)
+    ]
+    erases = [chip.erase_count(block) for block in range(chip.spec.n_blocks)]
+    return pages, erases
+
+
+def _replay(pool, seed, n_pages, capacity):
+    """One deterministic op trace against either pool flavour."""
+    rng = random.Random(seed)
+    pinned = []
+    for step in range(900):
+        roll = rng.random()
+        if roll < 0.45:  # update through the pool
+            page = pool.get_page(rng.randrange(n_pages))
+            offset = rng.randrange(page.size - 8)
+            page.write(offset, rng.randbytes(8))
+        elif roll < 0.70:  # plain read
+            pool.get_page(rng.randrange(n_pages))
+        elif roll < 0.80:  # pin a page for a while
+            if len(pinned) < capacity - 2:
+                page = pool.get_page(rng.randrange(n_pages))
+                page.pin()
+                pinned.append(page)
+            elif pinned:
+                pinned.pop(rng.randrange(len(pinned))).unpin()
+        elif roll < 0.88 and pinned:  # release a pin
+            pinned.pop(rng.randrange(len(pinned))).unpin()
+        elif roll < 0.96:
+            pool.flush_page(rng.randrange(n_pages))
+        else:
+            pool.flush_all()
+    for page in pinned:
+        page.unpin()
+    pool.flush_all()
+
+
+@pytest.mark.parametrize("label", ["PDL (64B)", "IPL (512B)", "PDL (64B) x2"])
+@pytest.mark.parametrize("seed", [1, 20100201])
+def test_lru_sync_matches_legacy_pool_byte_for_byte(label, seed):
+    n_pages, capacity = 48, 7
+    setups = []
+    for flavour in ("legacy", "new"):
+        if "x2" in label:
+            chips = [FlashChip(SPEC), FlashChip(SPEC)]
+        else:
+            chips = FlashChip(SPEC)
+        driver = make_method(label, chips)
+        rng = random.Random(seed)
+        driver.load_pages(
+            [(pid, rng.randbytes(driver.page_size)) for pid in range(n_pages)]
+        )
+        driver.end_of_load()
+        if flavour == "legacy":
+            pool = _LegacyBufferManager(driver, capacity)
+        else:
+            pool = BufferManager(driver, capacity)  # lru + sync defaults
+        setups.append((driver, pool, chips if isinstance(chips, list) else [chips]))
+
+    for driver, pool, _chips in setups:
+        _replay(pool, seed * 31 + 7, n_pages, capacity)
+
+    (_, legacy, legacy_chips), (_, new, new_chips) = setups
+    # Identical accounting...
+    assert new.stats.hits == legacy.hits
+    assert new.stats.misses == legacy.misses
+    assert new.stats.evictions == legacy.evictions
+    assert new.stats.dirty_evictions == legacy.dirty_evictions
+    assert new.stats.flushes == legacy.flushes
+    # ...identical simulated device traffic...
+    for old_chip, new_chip in zip(legacy_chips, new_chips):
+        assert new_chip.stats.totals().reads == old_chip.stats.totals().reads
+        assert new_chip.stats.totals().writes == old_chip.stats.totals().writes
+        assert new_chip.stats.totals().erases == old_chip.stats.totals().erases
+        # ...and a byte-for-byte identical flash image.
+        assert _flash_image(new_chip) == _flash_image(old_chip)

@@ -82,3 +82,20 @@ class TestPinning:
     def test_over_unpin(self, page):
         with pytest.raises(RuntimeError):
             page.unpin()
+
+    def test_pinned_context_manager(self, page):
+        with page.pinned() as same:
+            assert same is page
+            assert page.pin_count == 1
+        assert page.pin_count == 0
+
+    def test_pinned_releases_on_exception(self, page):
+        with pytest.raises(ValueError):
+            with page.pinned():
+                page.write(1_000, b"x")  # out of bounds
+        assert page.pin_count == 0
+
+    def test_pinned_nests(self, page):
+        with page.pinned(), page.pinned():
+            assert page.pin_count == 2
+        assert page.pin_count == 0
