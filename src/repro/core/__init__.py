@@ -5,9 +5,11 @@
 * :class:`PhysicalPageMappingTable` / :class:`ValidDifferentialCountTable`.
 * :class:`PdlDriver` — PDL_Writing / PDL_Reading with GC compaction.
 * :func:`recover_driver` — PDL_RecoveringfromCrash (Figure 11).
+* :func:`fsck_driver` — online single-page failure detection and repair.
 """
 
 from .check import CheckReport, check_driver
+from .fsck import FSCK_PHASE, FsckReport, PageFault, fsck_driver
 from .differential import (
     DEFAULT_COALESCE_GAP,
     DEFAULT_DIFF_UNIT,
@@ -39,7 +41,10 @@ __all__ = [
     "DEFAULT_DIFF_UNIT",
     "DifferentialWriteBuffer",
     "ENTRY_HEADER_SIZE",
+    "FSCK_PHASE",
+    "FsckReport",
     "MappingEntry",
+    "PageFault",
     "PAGE_HEADER_SIZE",
     "PdlDriver",
     "PhysicalPageMappingTable",
@@ -53,6 +58,7 @@ __all__ = [
     "encode_differential_page",
     "find_differential",
     "format_size",
+    "fsck_driver",
     "recover_driver",
     "recover_tables",
 ]

@@ -18,7 +18,10 @@ Checked invariants:
 4. the allocator's validity bitmap marks exactly the referenced pages;
 5. no two ppmt rows share a base address;
 6. buffered differentials (not yet in flash) are newer than both the
-   base page and any flash differential for their pid.
+   base page and any flash differential for their pid;
+7. every referenced page whose spare area records a data checksum still
+   matches it (single-page failure detection — ``fsck`` repairs what
+   this check can only flag).
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import List
 
-from ..flash.spare import PageType
+from ..flash.spare import PageType, data_checksum
 from .differential import DifferentialError, decode_differential_page
 from .pdl import PdlDriver
 
@@ -82,6 +85,14 @@ def check_driver(driver: PdlDriver) -> CheckReport:
             )
         if not driver.blocks.is_valid(entry.base_addr):
             report.add(f"pid {pid}: base page {entry.base_addr} not in bitmap")
+        # (7) base data matches its stored checksum
+        if (
+            spare.checksum is not None
+            and data_checksum(chip.peek_data(entry.base_addr)) != spare.checksum
+        ):
+            report.add(
+                f"pid {pid}: base page {entry.base_addr} fails its data checksum"
+            )
 
         # (2) differential page integrity
         if entry.diff_addr is not None:
@@ -94,8 +105,17 @@ def check_driver(driver: PdlDriver) -> CheckReport:
                 continue
             if dspare.obsolete:
                 report.add(f"pid {pid}: diff page {entry.diff_addr} is obsolete")
+            # (7) differential data matches its stored checksum
+            diff_data = chip.peek_data(entry.diff_addr)
+            if (
+                dspare.checksum is not None
+                and data_checksum(diff_data) != dspare.checksum
+            ):
+                report.add(
+                    f"pid {pid}: diff page {entry.diff_addr} fails its data checksum"
+                )
             try:
-                diffs = decode_differential_page(chip.peek_data(entry.diff_addr))
+                diffs = decode_differential_page(diff_data)
             except DifferentialError as exc:
                 report.add(f"pid {pid}: diff page {entry.diff_addr} corrupt: {exc}")
                 continue

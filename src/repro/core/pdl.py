@@ -234,6 +234,16 @@ class PdlDriver(PageUpdateMethod):
             finally:
                 self.gc.on_write_end()
 
+    def fsck(self, repair: bool = True):
+        """Scan for single-page corruption and repair it online.
+
+        Returns a :class:`repro.core.fsck.FsckReport`; see that module
+        for the detection sweep and the per-page repair decision tree.
+        """
+        from .fsck import fsck_driver  # local import: fsck imports this module
+
+        return fsck_driver(self, repair=repair)
+
     # ------------------------------------------------------------------
     # Batched entry points
     # ------------------------------------------------------------------

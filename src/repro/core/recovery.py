@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..flash.chip import FlashChip
+from ..flash.errors import ChecksumError
 from ..flash.spare import PageType
 from ..ftl.gc import VictimPolicy
 from .differential import DEFAULT_COALESCE_GAP, DifferentialError, decode_differential_page
@@ -51,6 +52,11 @@ class RecoveryReport:
     differentials_adopted: int = 0
     stale_pages_obsoleted: int = 0
     corrupt_differential_pages: int = 0
+    #: Base pages whose spare lost its pid (e.g. a torn spare program) —
+    #: unusable without knowing which logical page they hold.
+    corrupt_base_pages: int = 0
+    #: Pages whose spare type byte decoded to no known page type.
+    corrupt_spare_pages: int = 0
     orphan_pids: List[int] = field(default_factory=list)
     max_timestamp: int = 0
 
@@ -101,6 +107,15 @@ def recover_tables(
                 report.max_timestamp = max(report.max_timestamp, spare.timestamp or 0)
                 if spare.obsolete:
                     continue
+                if spare.is_corrupt:
+                    # A damaged type byte: the page holds *something* that
+                    # was programmed, so it must not be treated as erased
+                    # (the old behaviour re-allocated over it).  Quarantine
+                    # by obsoleting — its block stays sealed until GC.
+                    report.corrupt_spare_pages += 1
+                    chip.mark_obsolete(addr)
+                    report.stale_pages_obsoleted += 1
+                    continue
                 if spare.type is PageType.BASE:
                     _scan_base_page(chip, addr, spare.pid, spare.timestamp or 0,
                                     ppmt, diff_ts, drop_diff, report)
@@ -128,7 +143,12 @@ def recover_tables(
 def _scan_base_page(chip, addr, pid, ts, ppmt, diff_ts, drop_diff, report) -> None:
     """Case 1 of Figure 11: the scanned page is a base page."""
     if pid is None:
-        report.corrupt_differential_pages += 1
+        # A base page without a pid (torn spare program) cannot be mapped
+        # to any logical page; count it under its own bucket and mark it
+        # obsolete so later scans and the allocator never trust it.
+        report.corrupt_base_pages += 1
+        chip.mark_obsolete(addr)
+        report.stale_pages_obsoleted += 1
         return
     entry = ppmt.get(pid)
     if entry is None:
@@ -158,10 +178,10 @@ def _scan_base_page(chip, addr, pid, ts, ppmt, diff_ts, drop_diff, report) -> No
 
 def _scan_diff_page(chip, addr, ppmt, vdct, diff_ts, drop_diff, report) -> None:
     """Case 2 of Figure 11: the scanned page is a differential page."""
-    data, _spare = chip.read_page(addr)
     try:
+        data, _spare = chip.read_page(addr)
         diffs = decode_differential_page(data)
-    except DifferentialError:
+    except (ChecksumError, DifferentialError):
         report.corrupt_differential_pages += 1
         chip.mark_obsolete(addr)
         report.stale_pages_obsoleted += 1

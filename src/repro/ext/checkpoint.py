@@ -40,6 +40,7 @@ from typing import List, Optional, Tuple
 from ..core.pdl import PdlDriver
 from ..core.recovery import RecoveryReport, recover_driver
 from ..flash.chip import FlashChip
+from ..flash.errors import ChecksumError
 from ..flash.spare import PageType, SpareArea
 from ..ftl.errors import ConfigurationError
 from ..ftl.gc import VictimPolicy
@@ -219,7 +220,13 @@ class CheckpointManager:
         with chip.stats.phase(CHECKPOINT_PHASE):
             for half_idx in (0, 1):
                 addr = half_idx * half * ppb
-                data, spare = chip.read_page(addr)
+                try:
+                    data, spare = chip.read_page(addr)
+                except ChecksumError:
+                    # A rotted snapshot header is just an invalid snapshot:
+                    # the full Figure-11 scan below is always sound.
+                    pages_read += 1
+                    continue
                 pages_read += 1
                 if spare.type is not PageType.CHECKPOINT:
                     continue
@@ -290,7 +297,10 @@ class CheckpointManager:
         """Read and validate one snapshot half; None when corrupt."""
         ppb = chip.spec.pages_per_block
         start = half_idx * half * ppb
-        first, _ = chip.read_page(start)
+        try:
+            first, _ = chip.read_page(start)
+        except ChecksumError:
+            return None, 1
         reads = 1
         magic, seq, kind, _n0, n_pages, crc, max_ts = _HEADER.unpack_from(first, 0)
         if magic != MAGIC or kind != KIND_SNAPSHOT:
@@ -298,9 +308,14 @@ class CheckpointManager:
         bodies: List[bytes] = []
         entries: List[Tuple[int, int, int, int]] = []
         for index in range(n_pages):
-            data = first if index == 0 else chip.read_page(start + index)[0]
             if index:
                 reads += 1
+                try:
+                    data = chip.read_page(start + index)[0]
+                except ChecksumError:
+                    return None, reads
+            else:
+                data = first
             m, s, k, n_entries, _p, _c, _t = _HEADER.unpack_from(data, 0)
             if m != MAGIC or s != seq or k != KIND_SNAPSHOT:
                 return None, reads

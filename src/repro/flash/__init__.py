@@ -10,11 +10,18 @@ Public surface:
 """
 
 from .address import PageAddress, block_of, page_range_of_block, split_address
-from .backend import BackendError, DeviceBackend, FileBackend, MemoryBackend
+from .backend import (
+    BackendError,
+    DeviceBackend,
+    FaultInjector,
+    FileBackend,
+    MemoryBackend,
+)
 from .cache import ReadCache
 from .chip import ERASE_OPS, MUTATING_OPS, PROGRAM_OPS, CrashPoint, FlashChip
 from .errors import (
     AddressError,
+    ChecksumError,
     CrashError,
     EraseError,
     FlashError,
@@ -24,7 +31,16 @@ from .errors import (
     WearOutError,
 )
 from .spare import HEADER_SIZE as SPARE_HEADER_SIZE
-from .spare import NO_PID, NO_TS, PageType, SpareArea, erased_spare
+from .spare import (
+    CHECKSUM_HEADER_SIZE,
+    NO_CHECKSUM,
+    NO_PID,
+    NO_TS,
+    PageType,
+    SpareArea,
+    data_checksum,
+    erased_spare,
+)
 from .spec import (
     BENCH_SPEC,
     BENCH_SPEC_8K,
@@ -40,11 +56,15 @@ __all__ = [
     "BENCH_SPEC",
     "BENCH_SPEC_8K",
     "BackendError",
+    "CHECKSUM_HEADER_SIZE",
+    "ChecksumError",
     "CrashError",
     "CrashPoint",
     "DeviceBackend",
+    "FaultInjector",
     "FileBackend",
     "MemoryBackend",
+    "NO_CHECKSUM",
     "ReadCache",
     "DEFAULT_PHASE",
     "ERASE_OPS",
@@ -73,6 +93,7 @@ __all__ = [
     "WRITE_STEP",
     "WearOutError",
     "block_of",
+    "data_checksum",
     "erased_spare",
     "page_range_of_block",
     "spec_for_database",

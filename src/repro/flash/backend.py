@@ -41,11 +41,13 @@ loses nothing it was told was written.  ``sync()`` additionally calls
 from __future__ import annotations
 
 import os
+import random
 import struct
 from abc import ABC, abstractmethod
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .errors import AddressError
+from .spare import CHECKSUM_HEADER_SIZE
 from .spec import FlashSpec
 
 MAGIC = b"PDLFLSH1"
@@ -566,6 +568,181 @@ class FileBackend(DeviceBackend):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<FileBackend {self.path!r} {self.spec.n_pages} pages>"
+
+
+#: Fault kinds :class:`FaultInjector` can inject, in dispatch order.
+FAULT_KINDS = ("bit_rot", "misdirected_write", "torn_spare")
+
+
+class FaultInjectionError(RuntimeError):
+    """An injection request targets a page that cannot host the fault
+    (e.g. bit-rotting an erased page, which has no stored bits)."""
+
+
+class FaultInjector(DeviceBackend):
+    """A :class:`DeviceBackend` wrapper that corrupts pages on demand.
+
+    Models the single-page failure classes of Graefe & Kuno on top of
+    *either* backend by delegating every normal operation to ``inner``
+    and mutating stored images directly when a fault is injected:
+
+    * **bit rot** — flip bits inside a programmed data area;
+    * **misdirected write** — replace a page's data *and* spare with
+      another page's images, as if the donor's program pulse landed on
+      the wrong word line (the result is internally consistent — its
+      checksum still matches — so detection needs the mapping layer);
+    * **torn spare program** — a spare program that stopped partway:
+      bytes past the tear point revert to erased ``0xFF``.
+
+    Injections bypass NAND legality on purpose (corruption is not a
+    legal program) and never touch program counters or erase counts —
+    the device believes the page is healthily programmed, which is
+    exactly what makes the damage silent until a read verifies it.
+
+    All randomness comes from one :class:`random.Random` seeded at
+    construction, so a fault sequence is reproducible run-to-run.
+    """
+
+    def __init__(self, inner: DeviceBackend, seed: int = 0):
+        self.inner = inner
+        self.spec = inner.spec
+        self._rng = random.Random(seed)
+        self.injected: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        #: (kind, addr) in injection order, for test assertions.
+        self.fault_log: List[Tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Fault injection API
+    # ------------------------------------------------------------------
+    def inject(self, kind: str, addr: int, **kwargs) -> None:
+        """Inject one fault of ``kind`` at page ``addr``."""
+        if kind not in FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}"
+            )
+        getattr(self, f"inject_{kind}")(addr, **kwargs)
+
+    def inject_bit_rot(self, addr: int, n_bits: int = 1) -> None:
+        """Flip ``n_bits`` distinct bits in a programmed data area."""
+        self._check_addr(addr)
+        data = self.inner.read_data(addr)
+        if data is None:
+            raise FaultInjectionError(f"page {addr} has no programmed data to rot")
+        if not 1 <= n_bits <= len(data) * 8:
+            raise FaultInjectionError(f"cannot flip {n_bits} bits in {len(data)} bytes")
+        rotted = bytearray(data)
+        for position in self._rng.sample(range(len(data) * 8), n_bits):
+            rotted[position // 8] ^= 1 << (position % 8)
+        self.inner.write_data(addr, bytes(rotted), self.inner.data_programs(addr))
+        self._record("bit_rot", addr)
+
+    def inject_misdirected_write(self, addr: int, donor: Optional[int] = None) -> None:
+        """Overwrite ``addr`` with another programmed page's data + spare.
+
+        ``donor`` defaults to a deterministic pick among the other
+        programmed pages.  The victim ends up holding a page that is
+        self-consistent but belongs somewhere else entirely.
+        """
+        self._check_addr(addr)
+        if donor is None:
+            candidates = [a for a in self.inner.iter_programmed() if a != addr]
+            if not candidates:
+                raise FaultInjectionError(
+                    "no programmed page available to misdirect from"
+                )
+            donor = self._rng.choice(candidates)
+        self._check_addr(donor)
+        data = self.inner.read_data(donor)
+        spare = self.inner.read_spare(donor)
+        if data is None or spare is None:
+            raise FaultInjectionError(f"donor page {donor} is not fully programmed")
+        self.inner.write_data(addr, data, max(1, self.inner.data_programs(addr)))
+        self.inner.write_spare(addr, spare, max(1, self.inner.spare_programs(addr)))
+        self._record("misdirected_write", addr)
+
+    def inject_torn_spare(self, addr: int, tear_at: Optional[int] = None) -> None:
+        """Truncate a spare program: bytes past ``tear_at`` revert to 0xFF.
+
+        The default tear point falls inside the meaningful header+checksum
+        prefix (bytes 1..19), where a torn program actually loses
+        information — tearing inside the padding would be a no-op.
+        """
+        self._check_addr(addr)
+        spare = self.inner.read_spare(addr)
+        if spare is None:
+            raise FaultInjectionError(f"page {addr} has no programmed spare to tear")
+        if tear_at is None:
+            limit = min(len(spare), CHECKSUM_HEADER_SIZE)
+            tear_at = self._rng.randrange(1, limit)
+        if not 0 <= tear_at <= len(spare):
+            raise FaultInjectionError(
+                f"tear point {tear_at} outside spare of {len(spare)} bytes"
+            )
+        torn = spare[:tear_at] + b"\xff" * (len(spare) - tear_at)
+        self.inner.write_spare(addr, torn, self.inner.spare_programs(addr))
+        self._record("torn_spare", addr)
+
+    def _record(self, kind: str, addr: int) -> None:
+        self.injected[kind] += 1
+        self.fault_log.append((kind, addr))
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    # ------------------------------------------------------------------
+    # DeviceBackend delegation
+    # ------------------------------------------------------------------
+    def read_data(self, addr: int) -> Optional[bytes]:
+        return self.inner.read_data(addr)
+
+    def read_spare(self, addr: int) -> Optional[bytes]:
+        return self.inner.read_spare(addr)
+
+    def program_page(self, addr: int, data: bytes, spare: bytes) -> None:
+        self.inner.program_page(addr, data, spare)
+
+    def write_data(self, addr: int, data: bytes, programs: int) -> None:
+        self.inner.write_data(addr, data, programs)
+
+    def write_spare(self, addr: int, spare: bytes, programs: int) -> None:
+        self.inner.write_spare(addr, spare, programs)
+
+    def erase_block(self, block: int) -> None:
+        self.inner.erase_block(block)
+
+    def read_pages(self, addrs):
+        return self.inner.read_pages(addrs)
+
+    def read_spares(self, addrs):
+        return self.inner.read_spares(addrs)
+
+    def program_pages(self, items) -> None:
+        self.inner.program_pages(items)
+
+    def data_programs(self, addr: int) -> int:
+        return self.inner.data_programs(addr)
+
+    def spare_programs(self, addr: int) -> int:
+        return self.inner.spare_programs(addr)
+
+    def erase_count(self, block: int) -> int:
+        return self.inner.erase_count(block)
+
+    def is_block_erased(self, block: int) -> bool:
+        return self.inner.is_block_erased(block)
+
+    def iter_programmed(self) -> Iterator[int]:
+        return self.inner.iter_programmed()
+
+    def sync(self) -> None:
+        self.inner.sync()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FaultInjector over {self.inner!r} faults={self.total_injected}>"
 
 
 def _address_runs(addrs: Sequence[int]) -> Iterator[Tuple[int, int]]:

@@ -33,7 +33,13 @@ from .spare import SpareArea
 
 
 class ReadCache:
-    """Fixed-capacity LRU of ``addr -> (data, decoded spare)``."""
+    """Fixed-capacity LRU of ``addr -> (data, decoded spare)``.
+
+    The cache keeps its own hit/miss counters alongside the chip-level
+    ones in :class:`~repro.flash.stats.FlashStats` (which only meters
+    chip ``read_page`` traffic); :meth:`clear` resets them together with
+    the entries so a cleared cache never reports stale ratios.
+    """
 
     def __init__(self, capacity: int):
         if capacity < 1:
@@ -43,6 +49,8 @@ class ReadCache:
         self.capacity = capacity
         self._policy = LruPolicy(capacity)
         self._entries: Dict[int, Tuple[bytes, SpareArea]] = {}
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -53,7 +61,10 @@ class ReadCache:
     def get(self, addr: int) -> Optional[Tuple[bytes, SpareArea]]:
         entry = self._entries.get(addr)
         if entry is not None:
+            self.hits += 1
             self._policy.touch(addr)
+        else:
+            self.misses += 1
         return entry
 
     def put(self, addr: int, data: bytes, spare: SpareArea) -> None:
@@ -83,5 +94,8 @@ class ReadCache:
                 self.invalidate(addr)
 
     def clear(self) -> None:
+        """Drop every entry and reset hit/miss bookkeeping."""
         self._entries.clear()
         self._policy = type(self._policy)(self.capacity)
+        self.hits = 0
+        self.misses = 0

@@ -50,13 +50,20 @@ from .backend import DeviceBackend, MemoryBackend
 from .cache import ReadCache
 from .errors import (
     AddressError,
+    ChecksumError,
     EraseError,
     ProgramError,
     SimulatedPowerLoss,
     SpareProgramError,
     WearOutError,
 )
-from .spare import PageType, SpareArea, erased_spare
+from .spare import (
+    CHECKSUM_HEADER_SIZE,
+    PageType,
+    SpareArea,
+    data_checksum,
+    erased_spare,
+)
 from .spec import FlashSpec
 from .stats import FlashStats
 
@@ -253,12 +260,18 @@ class FlashChip:
     # ------------------------------------------------------------------
     # Read operations
     # ------------------------------------------------------------------
-    def read_page(self, addr: int) -> Tuple[bytes, SpareArea]:
+    def read_page(self, addr: int, verify: bool = True) -> Tuple[bytes, SpareArea]:
         """Read a page's data area and decoded spare area (one Tread).
 
         With a read cache enabled, a hit serves both from RAM and
         charges nothing; only base pages are admitted (see
         :mod:`repro.flash.cache`).
+
+        When the spare area carries a data checksum it is verified
+        against the data read back; a mismatch invalidates any cached
+        copy and raises :class:`~repro.flash.errors.ChecksumError`
+        (``verify=False`` skips the check — fsck reads suspect pages this
+        way to classify damage itself).
         """
         self._check_addr(addr)
         if self.cache is not None:
@@ -272,9 +285,11 @@ class FlashChip:
         if data is None:
             data = b"\xff" * self.spec.page_data_size
         spare = self._decoded_spare(addr)
+        if verify:
+            self._verify_checksum(addr, data, spare)
         if self.cache is not None:
             self.stats.record_cache_miss()
-            if spare.type is PageType.BASE and not spare.obsolete:
+            if verify and spare.type is PageType.BASE and not spare.obsolete:
                 self.cache.put(addr, data, spare)
         return data, spare
 
@@ -286,7 +301,9 @@ class FlashChip:
         self._advance_clock(self.spec.t_read_us)
         return self._decoded_spare(addr)
 
-    def read_pages(self, addrs: Sequence[int]) -> List[Tuple[bytes, SpareArea]]:
+    def read_pages(
+        self, addrs: Sequence[int], verify: bool = True
+    ) -> List[Tuple[bytes, SpareArea]]:
         """Read many pages in one backend call (N × Tread, batched I/O).
 
         With the read cache disabled (the default), charges and results
@@ -295,17 +312,25 @@ class FlashChip:
         stream pages once and would only thrash it — so with a cache
         enabled this path always pays full Tread where single
         :meth:`read_page` calls might hit for free.
+
+        Checksums are verified per page; the whole batch is charged
+        before the first :class:`~repro.flash.errors.ChecksumError`
+        propagates (the device did the reads — verification failed
+        after them).
         """
         for addr in addrs:
             self._check_addr(addr)
         self.stats.record_reads(len(addrs))
         self._advance_clock(self.spec.t_read_us * len(addrs))
         erased = b"\xff" * self.spec.page_data_size
-        return [
-            (raw_data if raw_data is not None else erased,
-             self._decode_raw_spare(raw_spare))
-            for raw_data, raw_spare in self.backend.read_pages(addrs)
-        ]
+        out: List[Tuple[bytes, SpareArea]] = []
+        for addr, (raw_data, raw_spare) in zip(addrs, self.backend.read_pages(addrs)):
+            data = raw_data if raw_data is not None else erased
+            spare = self._decode_raw_spare(raw_spare)
+            if verify:
+                self._verify_checksum(addr, data, spare)
+            out.append((data, spare))
+        return out
 
     def read_spares(self, addrs: Sequence[int]) -> List[SpareArea]:
         """Read many spare areas in one backend call (N × Tread).
@@ -333,8 +358,13 @@ class FlashChip:
 
         The data area must currently be erased: NAND forbids overwriting.
         Short ``data`` is padded with ``0xFF`` (unprogrammed bits).
+        When the spare area has room, a CRC32 of the (padded) data area
+        is stamped into it automatically unless the caller already
+        supplied one — GC relocations pass the decoded spare through, so
+        identical copies keep their original, still-valid checksum.
         """
         payload = self._validate_program(addr, data)
+        spare = self._attach_checksum(payload, spare)
         self._pre_mutate("program_page")
         self.stats.record_write()
         self._advance_clock(self.spec.t_write_us)
@@ -367,6 +397,7 @@ class FlashChip:
                         "twice in one batch"
                     )
                 payload = self._validate_program(addr, data)
+                spare = self._attach_checksum(payload, spare)
                 self._pre_mutate("program_page")
                 self.stats.record_write()
                 # Clock per page; the realtime wait happens once for the
@@ -409,6 +440,11 @@ class FlashChip:
         partial programs.  The target byte range must still be erased and
         the page's partial-program budget must not be exhausted.  ``spare``
         is programmed alongside the first partial program only.
+
+        No checksum is stamped here: the data area keeps changing across
+        partial programs, so a CRC taken at the first one would be stale
+        by the second.  Log pages are covered by their own record-level
+        framing instead.
         """
         self._check_addr(addr)
         if offset < 0 or offset + len(data) > self.spec.page_data_size:
@@ -451,10 +487,17 @@ class FlashChip:
         This is how pages are marked obsolete.  The new contents must be
         bit-compatible with the current spare (1 → 0 only) and the spare
         program budget (4 on the paper's chip) must not be exceeded.
+
+        A caller passing a spare without a checksum over a page whose
+        spare already carries one would violate bit-compatibility (the
+        all-ones "no checksum" slot cannot be restored); the existing
+        checksum is preserved automatically in that case.
         """
         self._check_addr(addr)
-        encoded = spare.encode(self.spec.page_spare_size)
         current = self.backend.read_spare(addr)
+        if current is not None and spare.checksum is None:
+            spare = spare.with_checksum(SpareArea.decode(current).checksum)
+        encoded = spare.encode(self.spec.page_spare_size)
         if current is not None and not _bits_compatible(current, encoded):
             raise SpareProgramError(
                 f"spare reprogram at {split_address(addr, self.spec)} "
@@ -574,6 +617,36 @@ class FlashChip:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _attach_checksum(self, payload: bytes, spare: SpareArea) -> SpareArea:
+        """Stamp a data-area CRC into a spare about to be programmed.
+
+        Only when the spare area has room for it and the caller did not
+        supply one already (GC relocations and recovery re-programs pass
+        decoded spares through, preserving the original checksum over
+        bit-identical data).
+        """
+        if (
+            spare.checksum is None
+            and self.spec.page_spare_size >= CHECKSUM_HEADER_SIZE
+        ):
+            return spare.with_checksum(data_checksum(payload))
+        return spare
+
+    def _verify_checksum(self, addr: int, data: bytes, spare: SpareArea) -> None:
+        """Compare the data read back against the spare's stored CRC."""
+        if spare.checksum is None:
+            return
+        self.stats.record_checksum_check()
+        if data_checksum(data) != spare.checksum:
+            self.stats.record_checksum_failure()
+            if self.cache is not None:
+                # A repaired page must never be shadowed by the bad copy.
+                self.cache.invalidate(addr)
+            raise ChecksumError(
+                f"page {split_address(addr, self.spec)} data does not match "
+                f"its spare-area checksum"
+            )
+
     def _decoded_spare(self, addr: int) -> SpareArea:
         return self._decode_raw_spare(self.backend.read_spare(addr))
 

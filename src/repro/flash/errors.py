@@ -59,3 +59,14 @@ class SimulatedPowerLoss(CrashError):
 
 class SpareProgramError(ProgramError):
     """The spare area of a page was programmed more times than allowed."""
+
+
+class ChecksumError(FlashError):
+    """A page's data area does not match the CRC32 in its spare area.
+
+    Raised by the chip's read paths when a stored checksum disagrees
+    with the data read back — the single-page failure class of Graefe &
+    Kuno: bit rot, a misdirected write, or a torn program.  The page is
+    still physically readable; ``fsck`` decides whether it can be
+    repaired from a surviving copy or differential chain.
+    """

@@ -12,34 +12,71 @@ is a byte that starts at ``0xFF`` (valid) and is cleared to ``0x00``
 (obsolete) by a second spare program — footnote 9 allows up to four spare
 programs between erases.
 
-Layout (16-byte header, remaining spare bytes left ``0xFF``)::
+Layout (16-byte header + optional 4-byte checksum, remaining spare bytes
+left ``0xFF``)::
 
     [0]     type byte   (0xB5 base / 0xDF differential / 0x0D raw data)
     [1]     obsolete    (0xFF valid, 0x00 obsolete)
     [2:6]   pid         (u32 little-endian; 0xFFFFFFFF = none)
     [6:14]  timestamp   (u64 little-endian; all-ones = none)
     [14:16] reserved    (0xFF)
+    [16:20] data CRC32  (u32 little-endian; 0xFFFFFFFF = none) — only
+            when the spare area is at least 20 bytes
+
+The checksum occupies bytes that earlier images left as ``0xFF``
+padding, and the all-ones value means "no checksum" — exactly what an
+erased or pre-checksum spare area reads as.  Decoding a pre-checksum
+image therefore yields ``checksum=None`` and verification is skipped,
+which is the whole backward-compatibility story: no image version bump,
+old ``shard-NNNN.flash`` files keep opening and recovering (see
+``docs/integrity.md``).
 """
 
 from __future__ import annotations
 
 import enum
 import struct
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, replace
 from typing import Optional
 
 HEADER_SIZE = 16
 _HEADER = struct.Struct("<BBIQ2s")
 
+#: Where the optional data-area CRC32 lives inside the spare area.
+CHECKSUM_OFFSET = HEADER_SIZE
+CHECKSUM_SIZE = 4
+#: Minimum spare size that can carry a checksum next to the header.
+CHECKSUM_HEADER_SIZE = HEADER_SIZE + CHECKSUM_SIZE
+_CHECKSUM = struct.Struct("<I")
+
 NO_PID = 0xFFFFFFFF
 NO_TS = 0xFFFFFFFFFFFFFFFF
+#: All-ones checksum slot means "no checksum recorded" (erased spare
+#: bytes and pre-checksum images both read this way).
+NO_CHECKSUM = 0xFFFFFFFF
+
+
+def data_checksum(data: bytes) -> int:
+    """CRC32 of a page's data area, avoiding the reserved all-ones value.
+
+    A CRC that happens to equal :data:`NO_CHECKSUM` is mapped to 0 so it
+    stays distinguishable from "no checksum recorded"; the mapping is
+    deterministic, so verification compares like with like.
+    """
+    value = zlib.crc32(data) & 0xFFFFFFFF
+    return 0 if value == NO_CHECKSUM else value
 
 
 class PageType(enum.IntEnum):
     """Role of a physical page, stored as the spare type byte.
 
     Values are chosen so that an erased (all-``0xFF``) spare area decodes
-    as :attr:`ERASED` without special-casing.
+    as :attr:`ERASED` without special-casing.  :attr:`CORRUPT` is a
+    decode-side marker for unknown type bytes — no writer ever encodes
+    it, so seeing it means the spare area was damaged after programming;
+    recovery and fsck count and quarantine such pages instead of
+    re-allocating over them.
     """
 
     ERASED = 0xFF
@@ -48,9 +85,10 @@ class PageType(enum.IntEnum):
     DATA = 0x0D
     LOG = 0x1C
     CHECKPOINT = 0xC5
+    CORRUPT = 0x00
 
 
-_VALID_TYPES = {int(t) for t in PageType}
+_VALID_TYPES = {int(t) for t in PageType} - {int(PageType.CORRUPT)}
 
 
 @dataclass(frozen=True)
@@ -61,12 +99,18 @@ class SpareArea:
     obsolete: bool = False
     pid: Optional[int] = None
     timestamp: Optional[int] = None
+    checksum: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Encoding
     # ------------------------------------------------------------------
     def encode(self, spare_size: int) -> bytes:
-        """Serialize to ``spare_size`` bytes (header + 0xFF padding)."""
+        """Serialize to ``spare_size`` bytes (header + 0xFF padding).
+
+        The checksum is emitted only when the spare area has room for it
+        (``spare_size >= 20``); on smaller spares it is silently dropped,
+        so chips with header-only spare areas keep working unchecked.
+        """
         if spare_size < HEADER_SIZE:
             raise ValueError(f"spare area of {spare_size} bytes cannot hold header")
         pid = NO_PID if self.pid is None else self.pid
@@ -82,20 +126,30 @@ class SpareArea:
             ts,
             b"\xff\xff",
         )
-        return header + b"\xff" * (spare_size - HEADER_SIZE)
+        if spare_size >= CHECKSUM_HEADER_SIZE:
+            crc = NO_CHECKSUM if self.checksum is None else self.checksum
+            if not 0 <= crc <= NO_CHECKSUM:
+                raise ValueError(f"checksum {crc} out of u32 range")
+            header += _CHECKSUM.pack(crc)
+        return header + b"\xff" * (spare_size - len(header))
 
     @classmethod
     def decode(cls, raw: bytes) -> "SpareArea":
-        """Parse a spare area; unknown type bytes decode as ERASED."""
+        """Parse a spare area; unknown type bytes decode as CORRUPT."""
         if len(raw) < HEADER_SIZE:
             raise ValueError(f"spare area of {len(raw)} bytes too small to decode")
         type_byte, valid_byte, pid, ts, _reserved = _HEADER.unpack_from(raw, 0)
-        page_type = PageType(type_byte) if type_byte in _VALID_TYPES else PageType.ERASED
+        page_type = PageType(type_byte) if type_byte in _VALID_TYPES else PageType.CORRUPT
+        checksum: Optional[int] = None
+        if len(raw) >= CHECKSUM_HEADER_SIZE:
+            (crc,) = _CHECKSUM.unpack_from(raw, CHECKSUM_OFFSET)
+            checksum = None if crc == NO_CHECKSUM else crc
         return cls(
             type=page_type,
             obsolete=valid_byte != 0xFF,
             pid=None if pid == NO_PID else pid,
             timestamp=None if ts == NO_TS else ts,
+            checksum=checksum,
         )
 
     # ------------------------------------------------------------------
@@ -104,24 +158,33 @@ class SpareArea:
     def as_obsolete(self) -> "SpareArea":
         """Return a copy with the obsolete flag set.
 
-        Only bit-clearing transitions are produced, so re-programming the
-        spare area with the encoded result is always NAND-legal.
+        Only bit-clearing transitions are produced (the checksum is
+        preserved verbatim), so re-programming the spare area with the
+        encoded result is always NAND-legal.
         """
-        return SpareArea(
-            type=self.type,
-            obsolete=True,
-            pid=self.pid,
-            timestamp=self.timestamp,
-        )
+        return replace(self, obsolete=True)
+
+    def with_checksum(self, checksum: Optional[int]) -> "SpareArea":
+        """Return a copy carrying ``checksum`` (``None`` clears it)."""
+        return replace(self, checksum=checksum)
 
     @property
     def is_erased(self) -> bool:
         return self.type is PageType.ERASED
 
     @property
+    def is_corrupt(self) -> bool:
+        """True when the type byte decoded to no known page type."""
+        return self.type is PageType.CORRUPT
+
+    @property
     def is_valid(self) -> bool:
         """True for a programmed page that has not been obsoleted."""
-        return self.type is not PageType.ERASED and not self.obsolete
+        return (
+            self.type is not PageType.ERASED
+            and self.type is not PageType.CORRUPT
+            and not self.obsolete
+        )
 
 
 def erased_spare(spare_size: int) -> bytes:

@@ -141,11 +141,14 @@ BENCH_SPEC = FlashSpec(n_blocks=512)
 BENCH_SPEC_8K = FlashSpec(n_blocks=128, page_data_size=8192, page_spare_size=256)
 
 #: A tiny chip for unit and property tests: 16 blocks of 8 × 256-byte pages.
+#: The 32-byte spare leaves room for the data-area checksum, so tiny-chip
+#: tests exercise the integrity layer too (a 16-byte spare would silently
+#: disable it — see :mod:`repro.flash.spare`).
 TINY_SPEC = FlashSpec(
     n_blocks=16,
     pages_per_block=8,
     page_data_size=256,
-    page_spare_size=16,
+    page_spare_size=32,
 )
 
 

@@ -156,6 +156,11 @@ class FlashStats:
         #: miss is *also* recorded as a normal read in its phase).
         self.cache_hits: int = 0
         self.cache_misses: int = 0
+        #: Integrity accounting (see :mod:`repro.flash.spare`): how many
+        #: page reads carried a spare-area checksum and were verified,
+        #: and how many of those failed (raising ``ChecksumError``).
+        self.checksum_checks: int = 0
+        self.checksum_failures: int = 0
         #: Per-write GC stall samples (simulated us of reclamation work a
         #: single logical write absorbed); the GC engine records one
         #: sample per write, zero included, so percentiles are over all
@@ -235,6 +240,12 @@ class FlashStats:
 
     def record_cache_miss(self) -> None:
         self.cache_misses += 1
+
+    def record_checksum_check(self) -> None:
+        self.checksum_checks += 1
+
+    def record_checksum_failure(self) -> None:
+        self.checksum_failures += 1
 
     def record_write_stall(self, stall_us: float) -> None:
         """Record the GC time one logical write absorbed (0 for none)."""
@@ -319,6 +330,8 @@ class FlashStats:
         self.block_erases = [0] * len(self.block_erases)
         self.cache_hits = 0
         self.cache_misses = 0
+        self.checksum_checks = 0
+        self.checksum_failures = 0
         self.write_stall_us = []
         self.gc_steps = 0
         self.gc_step_pages = 0

@@ -286,6 +286,26 @@ class ShardedDriver(PageUpdateMethod):
             "max_block_erases": worst,
         }
 
+    def fsck(self, repair: bool = True):
+        """Run :func:`repro.core.fsck.fsck_driver` over every shard.
+
+        Returns one merged :class:`~repro.core.fsck.FsckReport` whose
+        ``per_shard`` list holds the individual shard reports (in shard
+        order; shards without an fsck-capable driver contribute an empty
+        report).  This serial façade scans shards one after another;
+        :class:`~repro.sharding.executor.ParallelShardedDriver` overrides
+        it to fan the scans out across its workers.
+        """
+        from ..core.fsck import FsckReport
+
+        reports = []
+        for shard in self.shards:
+            if hasattr(shard, "fsck"):
+                reports.append(shard.fsck(repair=repair))
+            else:
+                reports.append(FsckReport())
+        return FsckReport.merge(reports)
+
     def differential_page_count(self) -> int:
         """Referenced differential pages, summed over PDL shards."""
         return sum(

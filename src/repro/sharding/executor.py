@@ -372,6 +372,28 @@ class ParallelShardedDriver(ShardedDriver):
         with self._counter_lock:
             self.group_flushes += 1
 
+    def fsck(self, repair: bool = True):
+        """Scan and repair every shard concurrently; join, then merge.
+
+        Each shard's scan runs on its own worker (the single-writer
+        invariant covers fsck's repair writes too), so an array fscks in
+        the wall-clock time of its slowest shard.
+        """
+        from ..core.fsck import FsckReport
+
+        def shard_task(shard):
+            if hasattr(shard, "fsck"):
+                return shard.fsck(repair=repair)
+            return FsckReport()
+
+        reports = self._fan_out(
+            {
+                i: (lambda s=shard: shard_task(s))
+                for i, shard in enumerate(self.shards)
+            }
+        )
+        return FsckReport.merge(list(reports))
+
     def sync(self) -> None:
         self._fan_out({i: chip.sync for i, chip in enumerate(self.chips)})
 

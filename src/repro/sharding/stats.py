@@ -156,6 +156,17 @@ class AggregateStats:
         return self.cache_hits / accesses if accesses else 0.0
 
     # ------------------------------------------------------------------
+    # Integrity aggregation
+    # ------------------------------------------------------------------
+    @property
+    def checksum_checks(self) -> int:
+        return sum(stats.checksum_checks for stats in self._shards)
+
+    @property
+    def checksum_failures(self) -> int:
+        return sum(stats.checksum_failures for stats in self._shards)
+
+    # ------------------------------------------------------------------
     # Merged reporting (flash totals + optional buffer-pool counters)
     # ------------------------------------------------------------------
     def report(self, buffer_stats=None) -> Dict[str, object]:
@@ -181,6 +192,8 @@ class AggregateStats:
             "gc_step_pages": self.gc_step_pages,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "checksum_checks": self.checksum_checks,
+            "checksum_failures": self.checksum_failures,
         }
         if buffer_stats is not None:
             out["buffer"] = buffer_stats.as_dict()

@@ -212,6 +212,29 @@ class BufferManager:
         with self._dirty_lock:
             return self._dirty_count
 
+    def clear(self) -> int:
+        """Drop every clean, unpinned frame; returns how many were dropped.
+
+        Used after device-level repair (``Database.fsck``): cached page
+        images may no longer match what the driver would serve, so the
+        pool forgets them and re-reads on demand.  Dirty or pinned pages
+        are kept — dropping unwritten changes or a page a client holds
+        is never safe here.
+        """
+        with self._lock:
+            while self._inflight:
+                self._inflight_cond.wait()
+            self._drain_reparks_locked()
+            dropped = 0
+            for pid, page in list(self._frames.items()):
+                if page.dirty or page.pin_count > 0:
+                    continue
+                del self._frames[pid]
+                self.policy.remove(pid)
+                self._evict_gen[pid] = self._evict_gen.get(pid, 0) + 1
+                dropped += 1
+            return dropped
+
     # ------------------------------------------------------------------
     # Write-back
     # ------------------------------------------------------------------

@@ -417,6 +417,21 @@ class Database:
         """Write back all dirty pages and the driver's buffers."""
         self.pool.flush_all()
 
+    def fsck(self, repair: bool = True):
+        """Scan the device(s) for single-page corruption and repair online.
+
+        Dirty pages are flushed first so the scan sees the engine's full
+        durable state, and the buffer pool's clean cache is dropped
+        afterwards so no repaired (or lost) page is shadowed by a stale
+        in-memory copy.  Returns a :class:`~repro.core.fsck.FsckReport`
+        (merged across shards for sharded engines).
+        """
+        self.flush()
+        report = self.driver.fsck(repair=repair)
+        if repair:
+            self.pool.clear()
+        return report
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

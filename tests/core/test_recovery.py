@@ -339,3 +339,77 @@ class TestTimestampResume:
         fresh.vdct = ValidDifferentialCountTable()
         report = recover_tables(chip, fresh.ppmt, fresh.vdct, driver=fresh)
         assert fresh.current_ts == report.max_timestamp > 0
+
+
+class TestCorruptionDuringScan:
+    """Single-page damage must be quarantined by the scan, never adopted."""
+
+    def _injected(self, tiny_spec, seed=0):
+        from repro.flash.backend import FaultInjector, MemoryBackend
+
+        injector = FaultInjector(MemoryBackend(tiny_spec), seed=seed)
+        chip = FlashChip(tiny_spec, backend=injector)
+        return injector, chip, PdlDriver(chip, max_differential_size=64)
+
+    def test_base_without_pid_is_quarantined(self, tiny_spec):
+        """Regression: a base page whose spare lost its pid used to be
+        miscounted as a corrupt differential AND left valid."""
+        injector, chip, pdl = self._injected(tiny_spec)
+        pdl.load_page(0, _page(pdl))
+        addr = pdl.ppmt.require(0).base_addr
+        injector.inject("torn_spare", addr, tear_at=2)  # keeps type, loses pid
+        recovered, report = recover_driver(chip, max_differential_size=64)
+        assert report.corrupt_base_pages == 1
+        assert report.corrupt_differential_pages == 0
+        assert chip.peek_spare(addr).obsolete
+        assert 0 not in recovered.ppmt
+
+    def test_corrupt_type_byte_is_quarantined(self, tiny_spec):
+        chip = FlashChip(tiny_spec)
+        pdl = PdlDriver(chip, max_differential_size=64)
+        pdl.load_page(0, _page(pdl))
+        # Damage the type byte of an unrelated programmed page directly.
+        victim = (tiny_spec.n_blocks - 2) * tiny_spec.pages_per_block
+        from repro.flash.spare import SpareArea
+
+        chip.program_page(
+            victim, _page(pdl), SpareArea(type=PageType.BASE, pid=9, timestamp=1)
+        )
+        raw = bytearray(chip.backend.read_spare(victim))
+        raw[0] &= 0x70  # clears bits only: NAND-legal damage, unknown type
+        chip.backend.write_spare(victim, bytes(raw), chip.backend.spare_programs(victim))
+        recovered, report = recover_driver(chip, max_differential_size=64)
+        assert report.corrupt_spare_pages == 1
+        assert chip.peek_spare(victim).obsolete
+        assert 9 not in recovered.ppmt
+        assert recovered.read_page(0) == _page(pdl)
+
+    def test_checksum_corrupt_differential_dropped(self, tiny_spec):
+        """A rotted differential page fails verification during the scan;
+        its pid must roll back to the base image, not crash recovery."""
+        injector, chip, pdl = self._injected(tiny_spec)
+        base = _page(pdl)
+        pdl.load_page(0, base)
+        pdl.write_page(0, _patched(base, 0, b"\x01"))
+        pdl.flush()
+        diff_addr = pdl.ppmt.require(0).diff_addr
+        injector.inject("bit_rot", diff_addr)
+        recovered, report = recover_driver(chip, max_differential_size=64)
+        assert report.corrupt_differential_pages == 1
+        assert chip.peek_spare(diff_addr).obsolete
+        assert recovered.read_page(0) == base
+        assert recovered.ppmt.require(0).diff_addr is None
+
+    def test_checksum_corrupt_base_not_adopted_when_copy_exists(self, tiny_spec):
+        """With a stale duplicate present, recovery adopts by timestamp —
+        a rotted newer copy still wins adoption (the scan reads spares
+        only); fsck is the layer that validates data areas."""
+        injector, chip, pdl = self._injected(tiny_spec)
+        image = _page(pdl, 0x5A)
+        pdl.load_page(0, image)
+        addr = pdl.ppmt.require(0).base_addr
+        injector.inject("bit_rot", addr)
+        recovered, _ = recover_driver(chip, max_differential_size=64)
+        fsck_report = recovered.fsck()
+        assert fsck_report.lost_pids == [0]
+        assert 0 not in recovered.ppmt

@@ -35,6 +35,34 @@ class TestReadCacheUnit:
         with pytest.raises(ValueError):
             ReadCache(0)
 
+    def test_hit_miss_bookkeeping(self):
+        cache = ReadCache(2)
+        cache.put(0, b"a", _base(0))
+        assert cache.get(0) is not None and cache.get(1) is None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_clear_resets_bookkeeping(self):
+        """Regression: ``clear()`` must reset hit/miss counters along
+        with the entries, or hit ratios span unrelated measurement
+        windows."""
+        cache = ReadCache(2)
+        cache.put(0, b"a", _base(0))
+        cache.get(0)
+        cache.get(9)
+        cache.clear()
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert 0 not in cache
+        assert cache.get(0) is None  # counts fresh after the clear
+        assert (cache.hits, cache.misses) == (0, 1)
+
+    def test_invalidate_drops_only_target(self):
+        cache = ReadCache(4)
+        cache.put(0, b"a", _base(0))
+        cache.put(1, b"b", _base(1))
+        cache.invalidate(0)
+        assert 0 not in cache and 1 in cache
+        cache.invalidate(0)  # absent: a no-op, not an error
+
     def test_invalidate_range(self):
         cache = ReadCache(8)
         for addr in range(6):

@@ -3,11 +3,14 @@
 import pytest
 
 from repro.flash.spare import (
+    CHECKSUM_HEADER_SIZE,
     HEADER_SIZE,
+    NO_CHECKSUM,
     NO_PID,
     NO_TS,
     PageType,
     SpareArea,
+    data_checksum,
     erased_spare,
 )
 
@@ -51,10 +54,16 @@ class TestErasedSemantics:
         assert decoded.pid is None
         assert decoded.timestamp is None
 
-    def test_unknown_type_byte_decodes_erased(self):
+    def test_unknown_type_byte_decodes_corrupt(self):
+        """A damaged type byte must not masquerade as an erased page —
+        recovery would re-allocate over it (the old behaviour)."""
         raw = bytearray(erased_spare(64))
         raw[0] = 0x77
-        assert SpareArea.decode(bytes(raw)).type is PageType.ERASED
+        decoded = SpareArea.decode(bytes(raw))
+        assert decoded.type is PageType.CORRUPT
+        assert decoded.is_corrupt
+        assert not decoded.is_erased
+        assert not decoded.is_valid
 
 
 class TestObsolete:
@@ -95,4 +104,46 @@ class TestErrors:
 
     def test_padding_is_erased(self):
         encoded = SpareArea(type=PageType.BASE, pid=1).encode(64)
-        assert encoded[HEADER_SIZE:] == b"\xff" * (64 - HEADER_SIZE)
+        assert encoded[CHECKSUM_HEADER_SIZE:] == b"\xff" * (64 - CHECKSUM_HEADER_SIZE)
+
+
+class TestChecksum:
+    def test_roundtrip(self):
+        spare = SpareArea(type=PageType.BASE, pid=3, timestamp=9, checksum=0xDEADBEEF)
+        decoded = SpareArea.decode(spare.encode(64))
+        assert decoded.checksum == 0xDEADBEEF
+        assert decoded == spare
+
+    def test_absent_checksum_encodes_sentinel(self):
+        encoded = SpareArea(type=PageType.BASE, pid=1).encode(64)
+        slot = encoded[HEADER_SIZE:CHECKSUM_HEADER_SIZE]
+        assert slot == b"\xff" * 4  # NO_CHECKSUM: the erased state
+        assert SpareArea.decode(encoded).checksum is None
+
+    def test_small_spare_drops_checksum(self):
+        """A 16-byte spare (pre-checksum layout) has no room for the CRC;
+        encode drops it, decode yields None — the compatibility story."""
+        spare = SpareArea(type=PageType.BASE, pid=1, checksum=123)
+        encoded = spare.encode(HEADER_SIZE)
+        assert len(encoded) == HEADER_SIZE
+        assert SpareArea.decode(encoded).checksum is None
+
+    def test_with_checksum(self):
+        spare = SpareArea(type=PageType.BASE, pid=1, timestamp=2)
+        stamped = spare.with_checksum(77)
+        assert stamped.checksum == 77
+        assert (stamped.type, stamped.pid, stamped.timestamp) == (
+            spare.type, spare.pid, spare.timestamp,
+        )
+
+    def test_as_obsolete_preserves_checksum(self):
+        spare = SpareArea(type=PageType.BASE, pid=1, timestamp=2, checksum=55)
+        assert spare.as_obsolete().checksum == 55
+
+    def test_data_checksum_never_returns_sentinel(self):
+        assert data_checksum(b"") != NO_CHECKSUM
+        assert 0 <= data_checksum(b"abc") < NO_CHECKSUM
+
+    def test_checksum_out_of_range(self):
+        with pytest.raises(ValueError):
+            SpareArea(type=PageType.BASE, checksum=1 << 33).encode(64)
