@@ -162,6 +162,7 @@ def fsck_driver(driver: PdlDriver, repair: bool = True) -> FsckReport:
     io_before = chip.stats.of_phase(FSCK_PHASE)
     with chip.stats.phase(FSCK_PHASE):
         state = _sweep(chip, report)
+        state.expect_checksum = _checksum_capable(driver) and bool(state.verified)
         _check_bases(driver, state, report, repair)
         _check_differentials(driver, state, report, repair)
         _quarantine_unreferenced(driver, state, report, repair)
@@ -186,6 +187,9 @@ class _SweepState:
         self.bad_data: set = set()
         #: Pages whose data checksum was present and verified.
         self.verified: set = set()
+        #: Whether a missing checksum on this image counts as damage —
+        #: set after the sweep (see :func:`_checksum_capable`).
+        self.expect_checksum: bool = False
         #: pid -> [(ts, addr, obsolete)] over every BASE copy on flash.
         self.base_copies: Dict[int, List[Tuple[int, int, bool]]] = {}
         #: Every DIFFERENTIAL-typed page (valid and obsolete).
@@ -256,19 +260,25 @@ def _checkpoint_region_pages(driver) -> int:
 
 
 def _checksum_capable(driver) -> bool:
-    """Whether this chip's geometry carries data checksums at all.
+    """Whether this chip's geometry can carry data checksums at all.
 
-    On a capable chip every page this driver programs gets a checksum
-    stamped, so a *referenced* page whose slot reads back as absent is
-    itself evidence of a torn spare program — a rule that stays silent
-    on pre-checksum images (16-byte spares have no slot to be missing).
+    Geometry alone is *necessary but not sufficient* evidence that a
+    missing checksum means a torn spare program: a pre-checksum image
+    written on a wide-spare chip (the default 64-byte spare) decodes
+    ``checksum=None`` on every page — indistinguishable, page by page,
+    from a chip-wide torn-spare event.  The missing-checksum-is-torn
+    rule is therefore armed (``state.expect_checksum``) only when the
+    geometry has room **and** at least one checksum actually verified
+    during the sweep: on a current-format image essentially every
+    healthy page does, while a pre-checksum image has none, so old
+    images come back clean without a format flag (``docs/integrity.md``).
     """
     return driver.spec.page_spare_size >= CHECKSUM_HEADER_SIZE
 
 
 def _check_bases(driver, state: _SweepState, report: FsckReport, repair: bool) -> None:
     """Decision-tree step 1: every live base page, against the mapping."""
-    expect_checksum = _checksum_capable(driver)
+    expect_checksum = state.expect_checksum
     for pid, entry in list(driver.ppmt.items()):
         addr = entry.base_addr
         spare = state.spares.get(addr)
@@ -305,6 +315,9 @@ def _repair_base(driver, state, report, pid, entry, kind) -> None:
         if addr != bad_addr
         and addr not in state.bad_data
         and addr in state.data
+        # A donor whose checksum was torn away is as unverifiable as
+        # the page it would repair; never rebuild from one.
+        and not (state.expect_checksum and state.spares[addr].checksum is None)
         and ts <= entry.base_ts
     ]
     exact = [(ts, addr) for ts, addr in donors if ts == entry.base_ts]
@@ -313,10 +326,12 @@ def _repair_base(driver, state, report, pid, entry, kind) -> None:
     def retire_bad_page() -> None:
         if driver.blocks.is_valid(bad_addr):
             driver.blocks.note_invalid(bad_addr)
+        state.handled.add(bad_addr)
+        # A "missing" page reads back erased: there is nothing on flash
+        # to mark obsolete, so it is not a quarantine.
         if bad_addr in state.spares:
             _mark_obsolete_quietly(chip, bad_addr)
-        state.handled.add(bad_addr)
-        report.quarantined_pages += 1
+            report.quarantined_pages += 1
 
     try:
         if exact:
@@ -391,7 +406,7 @@ def _check_differentials(
     driver, state: _SweepState, report: FsckReport, repair: bool
 ) -> None:
     """Decision-tree step 2: every referenced differential page."""
-    expect_checksum = _checksum_capable(driver)
+    expect_checksum = state.expect_checksum
     referenced: Dict[int, List[int]] = {}
     for pid, entry in driver.ppmt.items():
         if entry.diff_addr is not None:
@@ -451,6 +466,11 @@ def _repair_differential_page(driver, state, report, addr, pids, kind) -> None:
         for other in state.diff_pages:
             if other == addr or other in state.bad_data:
                 continue
+            if state.expect_checksum and state.spares[other].checksum is None:
+                # Same rule as for referenced pages: with its checksum
+                # torn away the donor's bytes are unverifiable —
+                # reverting beats re-flushing bytes nothing vouches for.
+                continue
             diffs = state.decoded_diffs(other)
             if diffs is None:
                 continue
@@ -477,10 +497,10 @@ def _repair_differential_page(driver, state, report, addr, pids, kind) -> None:
     driver.vdct.remove(addr)
     if driver.blocks.is_valid(addr):
         driver.blocks.note_invalid(addr)
-    if addr in state.spares:
-        _mark_obsolete_quietly(chip, addr)
     state.handled.add(addr)
-    report.quarantined_pages += 1
+    if addr in state.spares:  # a "missing" page has nothing to quarantine
+        _mark_obsolete_quietly(chip, addr)
+        report.quarantined_pages += 1
 
     if not salvaged:
         return
@@ -549,7 +569,7 @@ def _quarantine_unreferenced(
     """Decision-tree steps 3–4: checkpoint region and unreferenced damage."""
     chip = driver.chip
     region_end = _checkpoint_region_pages(driver)
-    expect_checksum = _checksum_capable(driver)
+    expect_checksum = state.expect_checksum
 
     # Checkpoint-region pages only ever hold CHECKPOINT pages written by
     # program_page; anything else there — wrong type (a misdirected

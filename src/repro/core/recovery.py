@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..flash.chip import FlashChip
-from ..flash.errors import ChecksumError
+from ..flash.errors import ChecksumError, ProgramError
 from ..flash.spare import PageType
 from ..ftl.gc import VictimPolicy
 from .differential import DEFAULT_COALESCE_GAP, DifferentialError, decode_differential_page
@@ -41,6 +41,22 @@ RECOVERY_PHASE = "recovery"
 #: Pages per batched spare read during the scan.  On the file backend the
 #: spare region is contiguous, so each chunk is a single sequential read.
 SCAN_CHUNK_PAGES = 4096
+
+
+def _quarantine_corrupt(chip: FlashChip, addr: int, report: "RecoveryReport") -> None:
+    """Obsolete a corrupt page, tolerating damage to the spare area itself.
+
+    A page being quarantined is by definition damaged, so its spare may
+    be torn or have its program budget exhausted; a failed obsolete mark
+    must not abort the whole scan — the page is already outside every
+    rebuilt table, which is what matters.  Only an actual write counts
+    toward ``stale_pages_obsoleted``.
+    """
+    try:
+        chip.mark_obsolete(addr)
+    except ProgramError:
+        return
+    report.stale_pages_obsoleted += 1
 
 
 @dataclass
@@ -113,8 +129,7 @@ def recover_tables(
                     # (the old behaviour re-allocated over it).  Quarantine
                     # by obsoleting — its block stays sealed until GC.
                     report.corrupt_spare_pages += 1
-                    chip.mark_obsolete(addr)
-                    report.stale_pages_obsoleted += 1
+                    _quarantine_corrupt(chip, addr, report)
                     continue
                 if spare.type is PageType.BASE:
                     _scan_base_page(chip, addr, spare.pid, spare.timestamp or 0,
@@ -147,8 +162,7 @@ def _scan_base_page(chip, addr, pid, ts, ppmt, diff_ts, drop_diff, report) -> No
         # to any logical page; count it under its own bucket and mark it
         # obsolete so later scans and the allocator never trust it.
         report.corrupt_base_pages += 1
-        chip.mark_obsolete(addr)
-        report.stale_pages_obsoleted += 1
+        _quarantine_corrupt(chip, addr, report)
         return
     entry = ppmt.get(pid)
     if entry is None:
@@ -183,8 +197,7 @@ def _scan_diff_page(chip, addr, ppmt, vdct, diff_ts, drop_diff, report) -> None:
         diffs = decode_differential_page(data)
     except (ChecksumError, DifferentialError):
         report.corrupt_differential_pages += 1
-        chip.mark_obsolete(addr)
-        report.stale_pages_obsoleted += 1
+        _quarantine_corrupt(chip, addr, report)
         return
     adopted = 0
     for diff in diffs:

@@ -233,6 +233,92 @@ class TestQuarantine:
         assert report.check.consistent
 
 
+def _strip_checksums(backend, addrs=None):
+    """Rewrite spare areas with an erased checksum slot — simulating an
+    image written before checksums existed (or a torn CRC slot when
+    ``addrs`` targets specific pages)."""
+    from repro.flash.spare import CHECKSUM_OFFSET, CHECKSUM_SIZE
+
+    targets = list(backend.iter_programmed()) if addrs is None else addrs
+    for addr in targets:
+        raw = bytearray(backend.read_spare(addr))
+        raw[CHECKSUM_OFFSET : CHECKSUM_OFFSET + CHECKSUM_SIZE] = (
+            b"\xff" * CHECKSUM_SIZE
+        )
+        backend.write_spare(addr, bytes(raw), backend.spare_programs(addr))
+
+
+class TestChecksumEvidence:
+    """The torn-spare inference needs proof the image carries checksums."""
+
+    def test_checksum_free_image_is_not_torn(self, rig):
+        """Regression: on a wide-spare chip with no checksum anywhere (a
+        pre-checksum image), fsck used to flag every live page as a torn
+        spare and declare every pid lost."""
+        injector, _chip, driver = rig
+        images = _populate(driver)
+        _strip_checksums(injector.inner)
+        report = fsck_driver(driver)
+        assert report.clean
+        assert report.lost_pids == []
+        assert report.check.consistent
+        for pid, expected in images.items():
+            assert driver.read_page(pid) == expected
+
+    def test_checksum_only_tear_still_detected(self, rig):
+        """A tear past the header (byte 16) removes only the CRC; with
+        verified checksums elsewhere as evidence, fsck must still flag
+        the page as torn."""
+        injector, _chip, driver = rig
+        _populate(driver)
+        addr = driver.ppmt.require(3).base_addr
+        injector.inject("torn_spare", addr, tear_at=16)
+        report = fsck_driver(driver)
+        assert [f.kind for f in report.faults if f.addr == addr] == ["spare"]
+        assert report.lost_pids == [3]
+        assert report.check.consistent
+
+    def test_unverifiable_donor_is_not_trusted(self, rig):
+        """A salvage donor whose own checksum was torn away must not be
+        re-flushed as a repair; the pid reverts to its base instead."""
+        injector, _chip, driver = rig
+        base = _page(driver, 0x30)
+        driver.load_page(0, base)
+        v1 = _patched(base, 0, b"\x01")
+        driver.write_page(0, v1)
+        driver.flush()
+        first_diff = driver.ppmt.require(0).diff_addr
+        driver.write_page(0, _patched(v1, 0, b"\x02"))
+        driver.flush()
+        entry = driver.ppmt.require(0)
+        assert entry.diff_addr != first_diff
+        _strip_checksums(injector.inner, [first_diff])
+        injector.inject("bit_rot", entry.diff_addr)
+        report = fsck_driver(driver)
+        assert report.reverted_pids == [0]
+        assert report.repaired_differentials == 0
+        assert report.check.consistent
+        assert driver.read_page(0) == base
+
+    def test_missing_base_is_lost_but_not_quarantined(self, rig):
+        """A referenced address that reads back erased leaves nothing on
+        flash to mark obsolete: the pid is lost, but no quarantine may
+        be counted for it."""
+        injector, chip, driver = rig
+        _populate(driver, n=4)
+        backend = injector.inner
+        addr = driver.ppmt.require(1).base_addr
+        # A program whose pulse never reached the media: both areas read
+        # back erased while the tables still reference the address.
+        backend.write_data(addr, b"\xff" * chip.spec.page_data_size, 0)
+        backend.write_spare(addr, b"\xff" * chip.spec.page_spare_size, 0)
+        report = fsck_driver(driver)
+        assert [f.kind for f in report.faults if f.addr == addr] == ["missing"]
+        assert report.lost_pids == [1]
+        assert report.quarantined_pages == 0
+        assert report.check.consistent
+
+
 class TestEndToEnd:
     def test_recovery_roundtrips_after_repair(self, rig):
         """After fsck repairs, a crash-recovery scan of the same chip must

@@ -400,6 +400,41 @@ class TestCorruptionDuringScan:
         assert recovered.read_page(0) == base
         assert recovered.ppmt.require(0).diff_addr is None
 
+    def test_corrupt_page_with_exhausted_spare_budget_does_not_abort(self, tiny_spec):
+        """Regression: quarantining a corrupt page whose spare-program
+        budget is already spent used to raise SpareProgramError and
+        abort the whole scan."""
+        from repro.flash.spare import SpareArea
+
+        chip = FlashChip(tiny_spec)
+        pdl = PdlDriver(chip, max_differential_size=64)
+        pdl.load_page(0, _page(pdl))
+        victim = (tiny_spec.n_blocks - 2) * tiny_spec.pages_per_block
+        chip.program_page(
+            victim, _page(pdl), SpareArea(type=PageType.BASE, pid=9, timestamp=1)
+        )
+        raw = bytearray(chip.backend.read_spare(victim))
+        raw[0] &= 0x70  # clears bits only: NAND-legal damage, unknown type
+        chip.backend.write_spare(victim, bytes(raw), tiny_spec.max_spare_programs)
+        recovered, report = recover_driver(chip, max_differential_size=64)
+        assert report.corrupt_spare_pages == 1
+        assert not chip.peek_spare(victim).obsolete  # no budget left to mark
+        assert 9 not in recovered.ppmt
+        assert recovered.read_page(0) == _page(pdl)
+
+    def test_pidless_base_with_exhausted_spare_budget_does_not_abort(self, tiny_spec):
+        injector, chip, pdl = self._injected(tiny_spec)
+        pdl.load_page(0, _page(pdl))
+        addr = pdl.ppmt.require(0).base_addr
+        injector.inject("torn_spare", addr, tear_at=2)  # keeps type, loses pid
+        backend = injector.inner
+        backend.write_spare(
+            addr, backend.read_spare(addr), tiny_spec.max_spare_programs
+        )
+        recovered, report = recover_driver(chip, max_differential_size=64)
+        assert report.corrupt_base_pages == 1
+        assert 0 not in recovered.ppmt
+
     def test_checksum_corrupt_base_not_adopted_when_copy_exists(self, tiny_spec):
         """With a stale duplicate present, recovery adopts by timestamp —
         a rotted newer copy still wins adoption (the scan reads spares

@@ -22,7 +22,13 @@ from repro.core.recovery import recover_driver
 from repro.ext.checkpoint import CheckpointManager
 from repro.flash.backend import FaultInjector, FileBackend, MemoryBackend
 from repro.flash.chip import FlashChip
-from repro.flash.spare import HEADER_SIZE, PageType, SpareArea
+from repro.flash.spare import (
+    CHECKSUM_OFFSET,
+    CHECKSUM_SIZE,
+    HEADER_SIZE,
+    PageType,
+    SpareArea,
+)
 from repro.flash.spec import FlashSpec
 
 SPEC = FlashSpec(n_blocks=16, pages_per_block=8, page_data_size=256, page_spare_size=32)
@@ -258,3 +264,38 @@ class TestPreChecksumCompatibility:
         report = fsck_driver(recovered)
         assert report.clean  # nothing to verify is not corruption
         assert report.checksum_failures == 0
+
+    def test_pre_checksum_wide_spare_image_survives_fsck(self, tmp_path):
+        """Regression: a checksum-free image on a chip whose spare *does*
+        have room for the slot (like the default 64-byte spare) must not
+        read as a chip-wide torn-spare event — fsck used to flag every
+        live page and declare every pid lost."""
+        path = tmp_path / "old-wide.flash"
+        backend = FileBackend(path, SPEC)  # 32-byte spare: room for a CRC
+        chip = FlashChip(SPEC, backend=backend)
+        driver = PdlDriver(chip, max_differential_size=64)
+        images = {}
+        for pid in range(6):
+            images[pid] = bytes([pid + 1]) * SPEC.page_data_size
+            driver.load_page(pid, images[pid])
+        driver.end_of_load()
+        images[0] = _patched(images[0], 0, b"\x99")
+        driver.write_page(0, images[0])
+        driver.flush()
+        # Erase every checksum slot, leaving the image exactly as a
+        # pre-checksum writer would have: checksum=None on every page.
+        for addr in list(backend.iter_programmed()):
+            raw = bytearray(backend.read_spare(addr))
+            raw[CHECKSUM_OFFSET : CHECKSUM_OFFSET + CHECKSUM_SIZE] = (
+                b"\xff" * CHECKSUM_SIZE
+            )
+            backend.write_spare(addr, bytes(raw), backend.spare_programs(addr))
+        chip.close()
+
+        reopened = FlashChip(SPEC, backend=FileBackend(path))
+        recovered, _ = recover_driver(reopened, max_differential_size=64)
+        report = fsck_driver(recovered)
+        assert report.clean, [str(f) for f in report.faults]
+        assert report.lost_pids == []
+        for pid, expected in images.items():
+            assert recovered.read_page(pid) == expected
