@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from functools import cached_property
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,6 +64,17 @@ DEFAULT_DIFF_UNIT = 16
 
 class DifferentialError(ValueError):
     """Raised when encoded differential data cannot be decoded."""
+
+
+_RUN_HEADER_STRUCTS: Dict[int, struct.Struct] = {}
+
+
+def _run_header_struct(n_runs: int) -> struct.Struct:
+    """A cached ``Struct`` packing ``n_runs`` (offset, length) pairs."""
+    cached = _RUN_HEADER_STRUCTS.get(n_runs)
+    if cached is None:
+        cached = _RUN_HEADER_STRUCTS[n_runs] = struct.Struct(f"<{2 * n_runs}H")
+    return cached
 
 
 def compute_runs(
@@ -112,13 +124,21 @@ def compute_unit_runs(base: bytes, new: bytes, unit: int = DEFAULT_DIFF_UNIT) ->
         raise ValueError("unit must be positive")
     if base == new:
         return ()
-    a = np.frombuffer(base, dtype=np.uint8)
-    b = np.frombuffer(new, dtype=np.uint8)
     n_full = len(base) // unit
     changed_units: List[int] = []
     if n_full:
-        full_a = a[: n_full * unit].reshape(n_full, unit)
-        full_b = b[: n_full * unit].reshape(n_full, unit)
+        if unit % 8 == 0:
+            # Compare 8 bytes per element: same answer, an eighth of the
+            # elements numpy has to touch on every page diff.
+            words = unit // 8
+            full_a = np.frombuffer(base, dtype="<u8", count=n_full * words)
+            full_b = np.frombuffer(new, dtype="<u8", count=n_full * words)
+        else:
+            words = unit
+            full_a = np.frombuffer(base, dtype=np.uint8, count=n_full * unit)
+            full_b = np.frombuffer(new, dtype=np.uint8, count=n_full * unit)
+        full_a = full_a.reshape(n_full, words)
+        full_b = full_b.reshape(n_full, words)
         changed_units = np.flatnonzero((full_a != full_b).any(axis=1)).tolist()
     runs = [
         ChangeRun(i * unit, new[i * unit : (i + 1) * unit]) for i in changed_units
@@ -169,15 +189,16 @@ class Differential:
     # ------------------------------------------------------------------
     # Properties
     # ------------------------------------------------------------------
-    @property
+    # ``runs`` is immutable, so both derived sizes are computed once and
+    # cached — PDL_Writing's case analysis and the write buffer's space
+    # accounting consult ``size`` several times per differential.
+    @cached_property
     def size(self) -> int:
         """Encoded size in bytes, metadata included — the quantity compared
         against Max_Differential_Size in PDL_Writing's three cases."""
-        return ENTRY_HEADER_SIZE + sum(
-            RUN_HEADER_SIZE + len(run.data) for run in self.runs
-        )
+        return ENTRY_HEADER_SIZE + RUN_HEADER_SIZE * len(self.runs) + self.data_len
 
-    @property
+    @cached_property
     def data_len(self) -> int:
         return sum(len(run.data) for run in self.runs)
 
@@ -205,14 +226,17 @@ class Differential:
     # Serialization
     # ------------------------------------------------------------------
     def encode(self) -> bytes:
-        parts = [
-            _ENTRY_HEADER.pack(self.pid, self.timestamp, len(self.runs), self.data_len)
-        ]
-        for run in self.runs:
-            parts.append(_RUN_HEADER.pack(run.offset, len(run.data)))
-        for run in self.runs:
-            parts.append(run.data)
-        return b"".join(parts)
+        runs = self.runs
+        header = _ENTRY_HEADER.pack(self.pid, self.timestamp, len(runs), self.data_len)
+        if not runs:
+            return header
+        flat: List[int] = []
+        for run in runs:
+            flat.append(run.offset)
+            flat.append(len(run.data))
+        # All run headers in one struct call instead of one pack per run.
+        run_headers = _run_header_struct(len(runs)).pack(*flat)
+        return b"".join([header, run_headers, *(run.data for run in runs)])
 
     @classmethod
     def decode_from(cls, buf: bytes, pos: int) -> Tuple["Differential", int]:
@@ -221,26 +245,27 @@ class Differential:
             raise DifferentialError("truncated differential entry header")
         pid, timestamp, n_runs, data_len = _ENTRY_HEADER.unpack_from(buf, pos)
         pos += ENTRY_HEADER_SIZE
-        headers: List[Tuple[int, int]] = []
-        for _ in range(n_runs):
-            if pos + RUN_HEADER_SIZE > len(buf):
-                raise DifferentialError("truncated differential run header")
-            offset, length = _RUN_HEADER.unpack_from(buf, pos)
-            pos += RUN_HEADER_SIZE
-            headers.append((offset, length))
+        if pos + RUN_HEADER_SIZE * n_runs > len(buf):
+            raise DifferentialError("truncated differential run header")
+        # All run headers in one struct call (mirrors encode()).
+        flat = _run_header_struct(n_runs).unpack_from(buf, pos)
+        pos += RUN_HEADER_SIZE * n_runs
         runs: List[ChangeRun] = []
-        for offset, length in headers:
+        carried = 0
+        for i in range(n_runs):
+            offset = flat[2 * i]
+            length = flat[2 * i + 1]
             if pos + length > len(buf):
                 raise DifferentialError("truncated differential run data")
             runs.append(ChangeRun(offset, bytes(buf[pos : pos + length])))
+            carried += length
             pos += length
-        diff = cls(pid=pid, timestamp=timestamp, runs=tuple(runs))
-        if diff.data_len != data_len:
+        if carried != data_len:
             raise DifferentialError(
                 f"differential for pid {pid} declares {data_len} data bytes "
-                f"but carries {diff.data_len}"
+                f"but carries {carried}"
             )
-        return diff, pos
+        return cls(pid=pid, timestamp=timestamp, runs=tuple(runs)), pos
 
 
 # ----------------------------------------------------------------------
@@ -283,8 +308,32 @@ def decode_differential_page(data: bytes) -> List[Differential]:
 
 
 def find_differential(data: bytes, pid: int) -> Optional[Differential]:
-    """Locate ``pid``'s entry in a differential page (PDL_Reading Step 2)."""
-    for diff in decode_differential_page(data):
-        if diff.pid == pid:
+    """Locate ``pid``'s entry in a differential page (PDL_Reading Step 2).
+
+    The read path's hot lookup: entry headers carry ``n_runs`` and
+    ``data_len``, so every non-matching entry is skipped in O(1) without
+    materializing its runs — only the matching entry (if any) is decoded
+    in full.  Structural damage along the skip path (truncated headers,
+    entries running off the page) still raises
+    :class:`DifferentialError` exactly as a full decode would.
+    """
+    if len(data) < PAGE_HEADER_SIZE:
+        raise DifferentialError("differential page smaller than its header")
+    magic, count = _PAGE_HEADER.unpack_from(data, 0)
+    if magic != DIFF_PAGE_MAGIC:
+        raise DifferentialError(
+            f"not a differential page (magic 0x{magic:04X})"
+        )
+    size = len(data)
+    pos = PAGE_HEADER_SIZE
+    for _ in range(count):
+        if pos + ENTRY_HEADER_SIZE > size:
+            raise DifferentialError("truncated differential entry header")
+        entry_pid, _ts, n_runs, data_len = _ENTRY_HEADER.unpack_from(data, pos)
+        if entry_pid == pid:
+            diff, _pos = Differential.decode_from(data, pos)
             return diff
+        pos += ENTRY_HEADER_SIZE + RUN_HEADER_SIZE * n_runs + data_len
+        if pos > size:
+            raise DifferentialError("truncated differential run data")
     return None

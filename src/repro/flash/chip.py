@@ -43,7 +43,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from .address import split_address
 from .backend import DeviceBackend, MemoryBackend
@@ -107,11 +109,29 @@ class CrashPoint:
         return self.ops is None or op in self.ops
 
 
-def _bits_compatible(old: bytes, new: bytes) -> bool:
-    """True when programming ``new`` over ``old`` only clears bits."""
-    old_int = int.from_bytes(old, "little")
-    new_int = int.from_bytes(new, "little")
-    return old_int & new_int == new_int
+#: Buffers at or above this size take the vectorized legality check;
+#: below it, one big-int conversion is cheaper than numpy call overhead.
+_VECTORIZE_THRESHOLD = 128
+
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def _bits_compatible(old: Buffer, new: Buffer) -> bool:
+    """True when programming ``new`` over ``old`` only clears bits.
+
+    NAND programming can move bits 1 → 0 only, i.e. ``old & new == new``
+    bytewise.  Page-sized buffers are checked with a vectorized numpy
+    bitwise test (no whole-page big-int materialization); small buffers
+    (spare areas) keep the int path, which wins under numpy's per-call
+    overhead.  Both paths accept any buffer-protocol object.
+    """
+    if len(old) < _VECTORIZE_THRESHOLD:
+        old_int = int.from_bytes(old, "little")
+        new_int = int.from_bytes(new, "little")
+        return old_int & new_int == new_int
+    a = np.frombuffer(old, dtype=np.uint8)
+    b = np.frombuffer(new, dtype=np.uint8)
+    return bool(((a & b) == b).all())
 
 
 class FlashChip:
@@ -415,7 +435,13 @@ class FlashChip:
                     for addr in staged_addrs:
                         self.cache.invalidate(addr)
 
-    def _validate_program(self, addr: int, data: bytes) -> bytes:
+    def _validate_program(self, addr: int, data: Buffer) -> Buffer:
+        """Validate and normalize a program payload without copying it.
+
+        Full-size buffers pass through untouched (bytes, bytearray or
+        memoryview — the backend makes the single owning copy where it
+        needs one); short payloads are padded into one fresh buffer.
+        """
         self._check_addr(addr)
         if len(data) > self.spec.page_data_size:
             raise ProgramError(
@@ -428,8 +454,10 @@ class FlashChip:
                 "erase the block before rewriting"
             )
         if len(data) < self.spec.page_data_size:
-            data = bytes(data) + b"\xff" * (self.spec.page_data_size - len(data))
-        return bytes(data)
+            padded = bytearray(data)
+            padded += b"\xff" * (self.spec.page_data_size - len(padded))
+            return padded
+        return data
 
     def program_partial(
         self, addr: int, offset: int, data: bytes, spare: Optional[SpareArea] = None
@@ -472,7 +500,7 @@ class FlashChip:
         self._advance_clock(self.spec.t_write_us)
         updated = bytearray(current)
         updated[offset : offset + len(data)] = data
-        self.backend.write_data(addr, bytes(updated), data_programs + 1)
+        self.backend.write_data(addr, updated, data_programs + 1)
         if self.backend.spare_programs(addr) == 0:
             chosen = spare if spare is not None else SpareArea()
             self.backend.write_spare(
@@ -542,7 +570,7 @@ class FlashChip:
         self._advance_clock(self.spec.t_write_us)
         patched = bytearray(current)
         patched[1] = 0x00
-        self.backend.write_spare(addr, bytes(patched), spare_programs + 1)
+        self.backend.write_spare(addr, patched, spare_programs + 1)
         if self.cache is not None:
             self.cache.invalidate(addr)
 

@@ -49,6 +49,18 @@ CHECKSUM_SIZE = 4
 #: Minimum spare size that can carry a checksum next to the header.
 CHECKSUM_HEADER_SIZE = HEADER_SIZE + CHECKSUM_SIZE
 _CHECKSUM = struct.Struct("<I")
+#: Header and checksum together, packed/unpacked in one struct call on
+#: the hot path (spare areas of at least 20 bytes).
+_HEADER_CRC = struct.Struct("<BBIQ2sI")
+
+#: All-0xFF spare templates keyed by spare size; encode() copies one and
+#: packs over it instead of concatenating header + checksum + padding.
+_ERASED_CACHE: dict = {}
+
+#: Memoized decode results keyed by raw spare contents (bounded; cleared
+#: wholesale at the cap — entries are tiny and recreated on demand).
+_DECODE_CACHE: dict = {}
+_DECODE_CACHE_CAP = 16384
 
 NO_PID = 0xFFFFFFFF
 NO_TS = 0xFFFFFFFFFFFFFFFF
@@ -119,38 +131,67 @@ class SpareArea:
             raise ValueError(f"pid {pid} out of u32 range")
         if not 0 <= ts <= NO_TS:
             raise ValueError(f"timestamp {ts} out of u64 range")
-        header = _HEADER.pack(
-            int(self.type),
-            0x00 if self.obsolete else 0xFF,
-            pid,
-            ts,
-            b"\xff\xff",
-        )
+        buf = bytearray(erased_spare(spare_size))
         if spare_size >= CHECKSUM_HEADER_SIZE:
             crc = NO_CHECKSUM if self.checksum is None else self.checksum
             if not 0 <= crc <= NO_CHECKSUM:
                 raise ValueError(f"checksum {crc} out of u32 range")
-            header += _CHECKSUM.pack(crc)
-        return header + b"\xff" * (spare_size - len(header))
+            _HEADER_CRC.pack_into(
+                buf,
+                0,
+                int(self.type),
+                0x00 if self.obsolete else 0xFF,
+                pid,
+                ts,
+                b"\xff\xff",
+                crc,
+            )
+        else:
+            _HEADER.pack_into(
+                buf,
+                0,
+                int(self.type),
+                0x00 if self.obsolete else 0xFF,
+                pid,
+                ts,
+                b"\xff\xff",
+            )
+        return bytes(buf)
 
     @classmethod
     def decode(cls, raw: bytes) -> "SpareArea":
-        """Parse a spare area; unknown type bytes decode as CORRUPT."""
+        """Parse a spare area; unknown type bytes decode as CORRUPT.
+
+        Decoding is deterministic and the result immutable, so results
+        are memoized by raw contents — a page's spare is re-read far
+        more often than it changes (every ``read_page`` decodes one).
+        """
+        key = raw if raw.__class__ is bytes else bytes(raw)
+        cached = _DECODE_CACHE.get(key)
+        if cached is not None:
+            return cached
         if len(raw) < HEADER_SIZE:
             raise ValueError(f"spare area of {len(raw)} bytes too small to decode")
-        type_byte, valid_byte, pid, ts, _reserved = _HEADER.unpack_from(raw, 0)
-        page_type = PageType(type_byte) if type_byte in _VALID_TYPES else PageType.CORRUPT
         checksum: Optional[int] = None
         if len(raw) >= CHECKSUM_HEADER_SIZE:
-            (crc,) = _CHECKSUM.unpack_from(raw, CHECKSUM_OFFSET)
+            type_byte, valid_byte, pid, ts, _reserved, crc = _HEADER_CRC.unpack_from(
+                raw, 0
+            )
             checksum = None if crc == NO_CHECKSUM else crc
-        return cls(
+        else:
+            type_byte, valid_byte, pid, ts, _reserved = _HEADER.unpack_from(raw, 0)
+        page_type = PageType(type_byte) if type_byte in _VALID_TYPES else PageType.CORRUPT
+        decoded = cls(
             type=page_type,
             obsolete=valid_byte != 0xFF,
             pid=None if pid == NO_PID else pid,
             timestamp=None if ts == NO_TS else ts,
             checksum=checksum,
         )
+        if len(_DECODE_CACHE) >= _DECODE_CACHE_CAP:
+            _DECODE_CACHE.clear()
+        _DECODE_CACHE[key] = decoded
+        return decoded
 
     # ------------------------------------------------------------------
     # Derived updates
@@ -188,5 +229,12 @@ class SpareArea:
 
 
 def erased_spare(spare_size: int) -> bytes:
-    """The raw contents of an erased spare area (all bits 1)."""
-    return b"\xff" * spare_size
+    """The raw contents of an erased spare area (all bits 1).
+
+    Returns a cached immutable object — callers must not mutate it
+    (copy into a ``bytearray`` first, as :meth:`SpareArea.encode` does).
+    """
+    cached = _ERASED_CACHE.get(spare_size)
+    if cached is None:
+        cached = _ERASED_CACHE[spare_size] = b"\xff" * spare_size
+    return cached

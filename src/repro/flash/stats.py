@@ -33,9 +33,8 @@ mid-resize.
 from __future__ import annotations
 
 import threading
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, List, Optional
 
 #: Phase used when no phase was pushed (initial load, ad-hoc access).
 DEFAULT_PHASE = "unattributed"
@@ -96,6 +95,23 @@ class LatencyRecorder:
 
     def reset(self) -> None:
         self.samples = []
+
+
+class _PhaseScope:
+    """Context manager pushing a phase name for the ``with`` block."""
+
+    __slots__ = ("_stack", "_name")
+
+    def __init__(self, stack: List[str], name: str):
+        self._stack = stack
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._stack.append(self._name)
+
+    def __exit__(self, *exc) -> bool:
+        self._stack.pop()
+        return False
 
 
 @dataclass
@@ -172,6 +188,23 @@ class FlashStats:
         self.gc_step_pages: int = 0
 
     # ------------------------------------------------------------------
+    # Pickling (process executor: worker-side stats travel over a pipe)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Dict:
+        """Counters only — the thread-local phase stack and the bucket
+        lock are per-process runtime state and are rebuilt fresh on
+        unpickle (an unpickled collector starts with no pushed phases)."""
+        state = self.__dict__.copy()
+        state.pop("_local", None)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
     # Phase management
     # ------------------------------------------------------------------
     @property
@@ -183,15 +216,14 @@ class FlashStats:
             self._local.stack = stack
         return stack
 
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        """Attribute operations inside the block to phase ``name``."""
-        stack = self._phase_stack
-        stack.append(name)
-        try:
-            yield
-        finally:
-            stack.pop()
+    def phase(self, name: str) -> "_PhaseScope":
+        """Attribute operations inside the ``with`` block to phase ``name``.
+
+        Returns a tiny reusable-shape scope object instead of a
+        generator-based context manager: the phase push/pop brackets
+        every driver entry point, so its constant cost is hot-path cost.
+        """
+        return _PhaseScope(self._phase_stack, name)
 
     @property
     def current_phase(self) -> str:

@@ -15,6 +15,10 @@ shard's mapping tables after a crash.
   single-writer worker thread per shard (:class:`ShardExecutor`) and
   the :class:`ParallelShardedDriver` built on it (see
   ``docs/concurrency.md``).
+* :mod:`repro.sharding.executor_proc` — process-per-shard execution
+  past the GIL: spawn-safe :class:`ShardFactory` recipes, a
+  :class:`ProcessShardExecutor` with shared-memory page frames, and
+  the :class:`ProcessShardedDriver` façade (``"... x8 proc"`` labels).
 * :mod:`repro.sharding.stats` — merged :class:`FlashStats` view plus
   per-chip clocks for serial-vs-parallel time accounting.
 * :mod:`repro.sharding.recovery` — per-shard Figure-11 scans composed
@@ -31,7 +35,12 @@ Build sharded configurations from paper-style labels::
 """
 
 from .driver import ShardedDriver
-from .executor import ParallelShardedDriver, ShardExecutor
+from .executor import ParallelShardedDriver, ShardExecutor, make_executor
+from .executor_proc import (
+    ProcessShardedDriver,
+    ProcessShardExecutor,
+    ShardFactory,
+)
 from .recovery import recover_all
 from .router import HashRouter, RangeRouter, ShardRouter, make_router
 from .stats import AggregateStats
@@ -40,10 +49,14 @@ __all__ = [
     "AggregateStats",
     "HashRouter",
     "ParallelShardedDriver",
+    "ProcessShardExecutor",
+    "ProcessShardedDriver",
     "RangeRouter",
     "ShardExecutor",
+    "ShardFactory",
     "ShardRouter",
     "ShardedDriver",
+    "make_executor",
     "make_router",
     "recover_all",
 ]

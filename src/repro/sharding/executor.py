@@ -189,6 +189,58 @@ class ShardExecutor:
         self.shutdown()
 
 
+def make_executor(
+    kind: str = "thread",
+    *,
+    n_workers: Optional[int] = None,
+    factories=None,
+    name: str = "shard",
+    frames_per_worker: int = 64,
+):
+    """Build a shard executor of the requested kind.
+
+    ``kind="thread"`` returns a :class:`ShardExecutor` over
+    ``n_workers`` worker threads (defaulting to ``len(factories)`` when
+    recipes are supplied).  ``kind="process"`` returns a
+    :class:`~repro.sharding.executor_proc.ProcessShardExecutor`, which
+    needs one spawn-safe
+    :class:`~repro.sharding.executor_proc.ShardFactory` per shard —
+    the workers rebuild their drivers from the recipes, so there is
+    nothing else a process pool could be built from.  See
+    ``docs/concurrency.md`` for the thread-vs-process decision table.
+    """
+    from ..ftl.errors import ConfigurationError
+
+    if kind == "thread":
+        if n_workers is None:
+            if factories is None:
+                raise ConfigurationError(
+                    "make_executor(kind='thread') needs n_workers (or "
+                    "factories to count)"
+                )
+            n_workers = len(list(factories))
+        return ShardExecutor(n_workers, name=name)
+    if kind == "process":
+        from .executor_proc import ProcessShardExecutor
+
+        if factories is None:
+            raise ConfigurationError(
+                "make_executor(kind='process') needs per-shard ShardFactory "
+                "recipes (see repro.sharding.executor_proc)"
+            )
+        if n_workers is not None and n_workers != len(list(factories)):
+            raise ConfigurationError(
+                f"n_workers={n_workers} disagrees with "
+                f"{len(list(factories))} shard factories"
+            )
+        return ProcessShardExecutor(
+            factories, name=name, frames_per_worker=frames_per_worker
+        )
+    raise ConfigurationError(
+        f"unknown executor kind {kind!r}; expected 'thread' or 'process'"
+    )
+
+
 def gather(futures: Sequence[Future]) -> List[object]:
     """Wait for every future; re-raise the first failure (in order)."""
     results: List[object] = []

@@ -28,7 +28,7 @@ the serial-vs-threaded scan times; see ``docs/concurrency.md``).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core.recovery import RecoveryReport, recover_driver
 from ..flash.chip import FlashChip
@@ -41,7 +41,7 @@ def recover_all(
     chips: Sequence[FlashChip],
     router: Optional[ShardRouter] = None,
     max_differential_size: int = 256,
-    parallel: bool = False,
+    parallel: Union[bool, str] = False,
     **driver_kwargs,
 ) -> Tuple[ShardedDriver, List[RecoveryReport]]:
     """Rebuild a sharded PDL array from post-crash flash contents.
@@ -53,11 +53,20 @@ def recover_all(
     shard's :func:`recover_driver` (e.g. ``coalesce_gap``,
     ``victim_policy``).
 
-    With ``parallel=True`` the per-shard scans run concurrently on a
+    With ``parallel=True`` (or ``parallel="thread"``) the per-shard
+    scans run concurrently on a
     :class:`~repro.sharding.executor.ShardExecutor` (one worker per
     chip — each scan reads and heals only its own device, so the scans
     share nothing), and the worker pool is kept to drive the returned
     :class:`~repro.sharding.executor.ParallelShardedDriver`.
+
+    With ``parallel="process"`` each scan runs inside its own spawned
+    worker process over a *reopened* file image (the parent's chip
+    handles are closed here and must not be used again), and the
+    returned driver is a
+    :class:`~repro.sharding.executor_proc.ProcessShardedDriver` — the
+    GIL-free variant; memory-backed chips are rejected because a worker
+    cannot see parent memory.
 
     Returns the operational driver plus one :class:`RecoveryReport` per
     shard, in shard order.
@@ -70,6 +79,19 @@ def recover_all(
             f"router partitions {router.n_shards} shards but {len(chips)} "
             "chips were supplied"
         )
+    if parallel == "process":
+        from .executor_proc import (
+            ProcessShardedDriver,
+            recovery_factories_from_chips,
+        )
+
+        factories = recovery_factories_from_chips(
+            chips, max_differential_size, driver_kwargs
+        )
+        driver = ProcessShardedDriver(
+            factories, router=router or HashRouter(len(chips))
+        )
+        return driver, list(driver.recovery_reports)
     if parallel:
         from .executor import ParallelShardedDriver, ShardExecutor
 

@@ -126,7 +126,7 @@ class Database:
         n_shards: Optional[int] = None,
         max_differential_size: Optional[int] = None,
         read_cache_pages: int = 0,
-        parallel: bool = False,
+        parallel: "bool | str" = False,
         buffer_policy: str = "lru",
         writeback=None,
         **driver_kwargs,
@@ -147,13 +147,21 @@ class Database:
         :class:`~repro.ftl.errors.ConfigurationError` rather than
         silently reinterpreting the images.
 
-        ``parallel=True`` executes shards on worker threads (a
+        ``parallel=True`` (or ``parallel="thread"``) executes shards on
+        worker threads (a
         :class:`~repro.sharding.executor.ParallelShardedDriver`): the
         reopen-time Figure-11 scans, every buffer-pool flush and
         ``Database.flush()``'s group flush fan out across the array, and
         the engine becomes safe to drive from concurrent client threads
-        (see ``docs/concurrency.md``).  Like GC tuning, it is runtime —
-        not manifest — state: pass it again on reopen.
+        (see ``docs/concurrency.md``).  ``parallel="process"`` goes one
+        step further and runs each shard in its own worker *process*
+        (a :class:`~repro.sharding.executor_proc.ProcessShardedDriver`)
+        with page payloads in shared memory, so shard work executes on
+        separate cores past the GIL; the per-shard images are reopened
+        inside the workers, which is why the configuration must be
+        spawn-safe (it is — the manifest holds only plain data).  Like
+        GC tuning, parallelism is runtime — not manifest — state: pass
+        it again on reopen.
 
         ``buffer_policy`` selects the buffer pool's eviction policy from
         the registry (``"lru"`` — the default and the paper-faithful
@@ -331,9 +339,22 @@ class Database:
         chips: List[FlashChip],
         n_shards: int,
         max_differential_size: int,
-        parallel: bool,
+        parallel: "bool | str",
         driver_kwargs: dict,
     ) -> PageUpdateMethod:
+        if parallel == "process":
+            # The freshly created images are handed to the workers,
+            # which rebuild the per-shard PDL drivers from spawn-safe
+            # recipes; the parent keeps no chip handles.
+            from ..sharding.executor_proc import (
+                ProcessShardedDriver,
+                factories_from_chips,
+            )
+
+            factories = factories_from_chips(
+                chips, f"PDL ({max_differential_size}B)", driver_kwargs
+            )
+            return ProcessShardedDriver(factories)
         shards = [
             PdlDriver(chip, max_differential_size=max_differential_size, **driver_kwargs)
             for chip in chips
@@ -463,6 +484,11 @@ class Database:
 
 def _allocation_horizon(driver: PageUpdateMethod) -> int:
     """Highest recovered pid + 1: the durable logical allocation horizon."""
+    horizon = getattr(driver, "allocation_horizon", None)
+    if horizon is not None:
+        # Process-backed drivers hold no local mapping tables; the
+        # horizon is fetched from the workers.
+        return horizon()
     shards = getattr(driver, "shards", None) or [driver]
     top = -1
     for shard in shards:

@@ -27,7 +27,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..core.pdl import PdlDriver
 from ..flash.chip import FlashChip
 from ..flash.spec import FlashSpec, spec_for_database
 from ..flash.stats import GC, READ_STEP, WRITE_STEP
@@ -35,7 +34,6 @@ from ..ftl.base import PageUpdateMethod
 from ..ftl.errors import ConfigurationError
 from ..methods import make_method, parse_gc_label, parse_parallel_label, parse_sharded_label
 from ..sharding.driver import ShardedDriver
-from ..sharding.executor import ParallelShardedDriver
 from ..storage.db import Database
 from .synthetic import SyntheticConfig, SyntheticWorkload
 
@@ -135,11 +133,15 @@ def aging_horizon(driver: PageUpdateMethod, change_size: int) -> int:
     if isinstance(driver, ShardedDriver):
         # Shards age independently but identically; use a representative.
         driver = driver.shards[0]
-    if not isinstance(driver, PdlDriver):
+    # Duck-typed on the PDL Case-3 horizon rather than the class: a
+    # process-backed array has no local shard drivers, only the
+    # representative effective_max its workers reported.
+    effective_max = getattr(driver, "effective_max", None)
+    if effective_max is None:
         return 1
     page = driver.page_size
     s = min(change_size / page, 0.98)
-    frac = min(driver.effective_max / page, 0.98)
+    frac = min(effective_max / page, 0.98)
     if s >= frac:
         return 1
     horizon = math.log(1.0 - frac) / math.log(1.0 - s)
@@ -364,13 +366,18 @@ def measure_sharded_updates(
         label, runner, pct_changed, n_updates_till_write, method_kwargs
     )
     driver = workload.driver
-    if client_threads > 1 and not isinstance(driver, ParallelShardedDriver):
+    # Parallel drivers (thread or process) expose their worker pool as
+    # .executor; duck-typing covers ProcessShardedDriver, which shares
+    # no base class with the thread-backed driver.
+    is_parallel = getattr(driver, "executor", None) is not None
+    if client_threads > 1 and not is_parallel:
         raise ConfigurationError(
             f"label {label!r} builds a serial driver; concurrent client "
-            "threads need a parallel one (append ' par' to the label)"
+            "threads need a parallel one (append ' par' or ' proc' to the "
+            "label)"
         )
     warm_to_steady_state(workload, runner)
-    chips = driver.chips if isinstance(driver, ShardedDriver) else [driver.chip]
+    chips = getattr(driver, "chips", None) or [driver.chip]
     stats = driver.stats
     clocks_before = [chip.clock_us for chip in chips]
     erases_before = [chip.stats.total_erases for chip in chips]
@@ -384,10 +391,12 @@ def measure_sharded_updates(
             workload.run_updates(runner.measure_ops)
         wall_s = time.perf_counter() - wall_start
     finally:
-        if isinstance(driver, ParallelShardedDriver):
+        if is_parallel:
             # The workload is done with the driver; stop the worker
-            # pool so repeated measurements do not leak threads.  The
-            # chips stay open for the counter reads below.
+            # pool so repeated measurements do not leak threads (or
+            # processes).  The chips stay open for the counter reads
+            # below — a process pool snapshots its workers' clocks and
+            # stats before stopping, so the reads still resolve.
             driver.executor.shutdown()
     delta = stats.delta_since(snap)
     clock_deltas = [
@@ -413,7 +422,7 @@ def measure_sharded_updates(
         group_flushes=getattr(driver, "group_flushes", 0),
         wall_s=wall_s,
         client_threads=client_threads,
-        measured_parallel=isinstance(driver, ParallelShardedDriver),
+        measured_parallel=is_parallel,
     )
 
 

@@ -235,3 +235,55 @@ class TestIteration:
         chip.program_page(3, _page(chip), SpareArea(type=PageType.DATA))
         chip.program_partial(9, 0, b"\x00", SpareArea(type=PageType.LOG))
         assert sorted(chip.iter_programmed_pages()) == [3, 9]
+
+
+class TestBitsCompatible:
+    """The vectorized NAND legality check must agree with the big-int
+    path on every input — the numpy fast path is an optimisation, not a
+    semantic change."""
+
+    @staticmethod
+    def _reference(old, new):
+        # The original formulation: one big-int AND over the whole buffer.
+        old_int = int.from_bytes(old, "little")
+        new_int = int.from_bytes(new, "little")
+        return old_int & new_int == new_int
+
+    @pytest.mark.parametrize("size", [1, 16, 127, 128, 129, 256, 2048])
+    def test_matches_reference_on_random_pairs(self, size, rng):
+        from repro.flash.chip import _bits_compatible
+
+        for _ in range(50):
+            old = rng.randbytes(size)
+            kind = rng.randrange(3)
+            if kind == 0:
+                new = rng.randbytes(size)  # usually illegal
+            elif kind == 1:
+                # Legal program: only clears bits.
+                new = bytes(b & rng.randrange(256) for b in old)
+            else:
+                # Near-legal: clear bits, then set one back somewhere.
+                cleared = bytearray(b & rng.randrange(256) for b in old)
+                i = rng.randrange(size)
+                cleared[i] |= (~old[i]) & 0xFF
+                new = bytes(cleared)
+            assert _bits_compatible(old, new) == self._reference(old, new), (
+                size,
+                old.hex(),
+                new.hex(),
+            )
+
+    def test_accepts_memoryviews_and_bytearrays(self):
+        from repro.flash.chip import _bits_compatible
+
+        old = bytes(range(256))
+        new = bytes(b & 0x7F for b in old)
+        assert _bits_compatible(memoryview(old), bytearray(new))
+        assert not _bits_compatible(memoryview(new), bytearray(old))
+
+    def test_erased_accepts_anything(self):
+        from repro.flash.chip import _bits_compatible
+
+        erased = b"\xff" * 512
+        assert _bits_compatible(erased, bytes(512))
+        assert _bits_compatible(erased, erased)

@@ -17,22 +17,52 @@ from repro.methods import (
 
 
 class TestParallelToken:
-    """The ``par`` token: pure parsing (driver behaviour is covered by
-    tests/sharding/test_parallel_driver.py)."""
+    """The ``par`` / ``proc`` tokens: pure parsing (driver behaviour is
+    covered by tests/sharding/test_parallel_driver.py and
+    tests/sharding/test_process_executor.py)."""
 
     def test_token_stripped_from_anywhere(self):
-        assert parse_parallel_label("PDL (256B) x4 par") == ("PDL (256B) x4", True)
-        assert parse_parallel_label("PDL (256B) par x4") == ("PDL (256B) x4", True)
+        assert parse_parallel_label("PDL (256B) x4 par") == (
+            "PDL (256B) x4",
+            "thread",
+        )
+        assert parse_parallel_label("PDL (256B) par x4") == (
+            "PDL (256B) x4",
+            "thread",
+        )
         assert parse_parallel_label("OPU x2") == ("OPU x2", False)
 
+    def test_proc_token(self):
+        assert parse_parallel_label("PDL (256B) x8 proc") == (
+            "PDL (256B) x8",
+            "process",
+        )
+        assert parse_parallel_label("PDL (256B) proc x8") == (
+            "PDL (256B) x8",
+            "process",
+        )
+
+    def test_modes_are_truthy(self):
+        # Callers that treat the mode as a boolean must keep working.
+        assert parse_parallel_label("PDL (256B) x4 par")[1]
+        assert parse_parallel_label("PDL (256B) x4 proc")[1]
+        assert not parse_parallel_label("PDL (256B) x4")[1]
+
     def test_token_is_word_bounded(self):
-        # 'par' inside another word must not trigger.
+        # 'par' / 'proc' inside another word must not trigger.
         assert parse_parallel_label("parquet x2") == ("parquet x2", False)
+        assert parse_parallel_label("proctor x2") == ("proctor x2", False)
         assert parse_parallel_label("OPU")[1] is False
 
     def test_duplicate_token_rejected(self):
         with pytest.raises(ValueError):
             parse_parallel_label("OPU x2 par par")
+        with pytest.raises(ValueError):
+            parse_parallel_label("OPU x2 proc proc")
+
+    def test_both_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            parse_parallel_label("PDL (256B) x4 par proc")
 
 
 class TestLabelParsing:
