@@ -1,0 +1,137 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline lets the CI gate turn on while known findings are paid
+down incrementally — but every entry must carry a written
+justification, so "baselined" always means "reviewed and argued for",
+never "silenced".  Entries match findings on ``(rule, path, message)``
+(not line numbers, so unrelated edits don't churn the file), and
+entries that no longer match anything are reported as stale so the
+file shrinks as debt is repaid.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files (missing justification, bad JSON)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    justification: str
+
+    @property
+    def key(self) -> tuple:
+        return (self.rule, self.path, self.message)
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=[])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict) or not isinstance(raw.get("findings"), list):
+            raise BaselineError(
+                f"baseline {path} must be an object with a 'findings' list"
+            )
+        entries = []
+        for i, item in enumerate(raw["findings"]):
+            if not isinstance(item, dict):
+                raise BaselineError(f"baseline {path}: entry {i} is not an object")
+            missing = [k for k in ("rule", "path", "message") if not item.get(k)]
+            if missing:
+                raise BaselineError(
+                    f"baseline {path}: entry {i} missing {', '.join(missing)}"
+                )
+            justification = str(item.get("justification", "")).strip()
+            if not justification:
+                raise BaselineError(
+                    f"baseline {path}: entry {i} "
+                    f"([{item['rule']}] {item['path']}) has no justification — "
+                    "every grandfathered finding must say why it is acceptable"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(item["rule"]),
+                    path=str(item["path"]),
+                    message=str(item["message"]),
+                    justification=justification,
+                )
+            )
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "findings": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "message": e.message,
+                    "justification": e.justification,
+                }
+                for e in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], justification: str
+    ) -> "Baseline":
+        seen = set()
+        entries = []
+        for f in findings:
+            if f.key in seen:
+                continue
+            seen.add(f.key)
+            entries.append(
+                BaselineEntry(
+                    rule=f.rule,
+                    path=f.path,
+                    message=f.message,
+                    justification=justification,
+                )
+            )
+        return cls(entries=entries)
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Partition findings into (new, grandfathered) plus stale entries."""
+        by_key: Dict[tuple, BaselineEntry] = {e.key: e for e in self.entries}
+        matched = set()
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for f in findings:
+            entry = by_key.get(f.key)
+            if entry is None:
+                new.append(f)
+            else:
+                matched.add(entry.key)
+                grandfathered.append(f)
+        stale = [e for e in self.entries if e.key not in matched]
+        return new, grandfathered, stale

@@ -1,0 +1,167 @@
+"""Source loading: parse trees, line tables and inline suppressions.
+
+A :class:`Project` is the unit the engine hands to rules: every Python
+file under the scanned paths, parsed once, with parent links attached
+(``node.repro_parent``) so rules can walk upward, plus the per-line
+``# repro: allow[rule-id]`` suppression table.
+
+Suppression syntax::
+
+    risky_call()  # repro: allow[rule-id] -- why this is safe here
+
+    # repro: allow[rule-a, rule-b] -- one comment can cover two rules
+    risky_call()
+
+A suppression applies to findings on its own line or, when the comment
+stands alone, on the next non-comment line.  ``allow[*]`` suppresses
+every rule on that line (reserve it for generated code).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Set
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+#: Directories never scanned even when nested under a requested path.
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "node_modules", ".mypy_cache"}
+
+
+@dataclass
+class Module:
+    """One parsed source file."""
+
+    path: Path
+    #: POSIX-style path relative to the scan root; baseline/display key.
+    rel: str
+    source: str
+    tree: ast.AST
+    #: line number -> set of rule ids allowed there ("*" = all rules).
+    allow: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+    def allows(self, line: int, rule_id: str) -> bool:
+        allowed = self.allow.get(line, ())
+        return rule_id in allowed or "*" in allowed
+
+
+@dataclass
+class Project:
+    root: Path
+    modules: List[Module]
+    #: Files that failed to parse, as (rel_path, error) pairs.
+    broken: List[tuple] = field(default_factory=list)
+
+    def module(self, rel: str) -> Module:
+        for mod in self.modules:
+            if mod.rel == rel:
+                return mod
+        raise KeyError(rel)
+
+
+def _attach_parents(tree: ast.AST) -> None:
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child.repro_parent = parent  # type: ignore[attr-defined]
+
+
+def _scan_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line numbers to the rule ids allowed there.
+
+    Comments are found with :mod:`tokenize` (not regex over raw lines)
+    so ``# repro: allow[...]`` inside string literals is ignored.  A
+    comment that is the only thing on its line forwards its allowance
+    to the following line, so block-style suppressions read naturally.
+    """
+    allow: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return allow
+    lines = source.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_RE.search(tok.string)
+        if not match:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if not ids:
+            continue
+        line = tok.start[0]
+        allow.setdefault(line, set()).update(ids)
+        stripped = lines[line - 1].strip() if line <= len(lines) else ""
+        if stripped.startswith("#"):
+            # Standalone comment: cover the next code line, skipping any
+            # continuation comment lines in between.
+            target = line + 1
+            while (
+                target <= len(lines) and lines[target - 1].strip().startswith("#")
+            ):
+                target += 1
+            allow.setdefault(target, set()).update(ids)
+    return allow
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if any(part in _SKIP_DIRS for part in sub.parts):
+                    continue
+                files.append(sub)
+        elif path.suffix == ".py":
+            files.append(path)
+    # De-duplicate while keeping order (overlapping path arguments).
+    seen: Set[Path] = set()
+    unique = []
+    for f in files:
+        resolved = f.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(f)
+    return unique
+
+
+def load_project(paths: Iterable[Path], root: Path) -> Project:
+    """Parse every Python file under ``paths`` into a :class:`Project`.
+
+    ``root`` anchors the relative paths used in findings and baselines;
+    files outside ``root`` keep their absolute path as the key.
+    """
+    root = root.resolve()
+    modules: List[Module] = []
+    broken: List[tuple] = []
+    for path in iter_python_files(paths):
+        resolved = path.resolve()
+        try:
+            rel = resolved.relative_to(root).as_posix()
+        except ValueError:
+            rel = resolved.as_posix()
+        try:
+            source = resolved.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(resolved))
+        except (OSError, SyntaxError, ValueError) as exc:
+            broken.append((rel, f"{type(exc).__name__}: {exc}"))
+            continue
+        _attach_parents(tree)
+        modules.append(
+            Module(
+                path=resolved,
+                rel=rel,
+                source=source,
+                tree=tree,
+                allow=_scan_suppressions(source),
+            )
+        )
+    return Project(root=root, modules=modules, broken=broken)

@@ -1,0 +1,78 @@
+"""Rule registration and lookup.
+
+Same extension idiom as the GC victim-policy registry
+(:mod:`repro.ftl.gc`): rules self-register at import time under a
+stable string id, and the engine iterates the registry.  Adding a rule
+is: subclass :class:`Rule`, implement :meth:`Rule.run`, decorate with
+:func:`register_rule` — see ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type, TYPE_CHECKING
+
+from .findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .project import Project
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set the class attributes and implement :meth:`run`,
+    which receives the whole parsed :class:`~.project.Project` (rules
+    like lock-order need cross-module context) and yields
+    :class:`Finding` records.  Helpers :meth:`finding` fills in the
+    rule id and severity so rule bodies stay terse.
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+    #: Shown alongside findings; tell the reader how to comply.
+    hint: str = ""
+
+    def run(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module, node, message: str) -> Finding:
+        """Build a finding for ``node`` (anything with ``lineno``) in ``module``."""
+        return Finding(
+            rule=self.id,
+            path=module.rel,
+            line=getattr(node, "lineno", 0),
+            message=message,
+            severity=self.severity,
+            hint=self.hint,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known rules: {', '.join(sorted(_REGISTRY))}"
+        ) from None

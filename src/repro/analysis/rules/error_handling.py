@@ -1,0 +1,80 @@
+"""bare-except: bare ``except:`` and silently swallowed broad catches.
+
+Worker and daemon loops are where swallowed errors hurt most: a worker
+that eats an exception keeps draining its mailbox and acking tasks, so
+the parent never learns the shard is corrupt (the PR 7 executor went
+through review precisely to route worker errors back through the result
+channel).  Two shapes are flagged everywhere:
+
+* bare ``except:`` — also catches ``KeyboardInterrupt``/``SystemExit``,
+  making workers unkillable;
+* ``except Exception:`` / ``except BaseException:`` whose body is only
+  ``pass``/``...`` — the error vanishes without a trace.
+
+Deliberate best-effort swallows (e.g. closing an already-broken chip in
+a worker's cleanup path) must carry an inline
+``# repro: allow[bare-except] -- why`` justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(expr) -> bool:
+    if isinstance(expr, ast.Name) and expr.id in BROAD:
+        return True
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(e) for e in expr.elts)
+    return False
+
+
+def _only_pass(body) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or `...`
+        return False
+    return True
+
+
+@register_rule
+class BareExceptRule(Rule):
+    id = "bare-except"
+    summary = "bare except clauses and silently swallowed broad exceptions"
+    hint = (
+        "catch a specific exception, or record/re-raise the error; best-effort "
+        "cleanup swallows need `# repro: allow[bare-except] -- reason`"
+    )
+
+    def run(self, project) -> Iterator[Finding]:
+        for mod in project.modules:
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if node.type is None:
+                    yield self.finding(
+                        mod,
+                        node,
+                        "bare `except:` also catches KeyboardInterrupt and "
+                        "SystemExit; catch a specific exception type",
+                    )
+                elif _is_broad(node.type) and _only_pass(node.body):
+                    name = (
+                        node.type.id
+                        if isinstance(node.type, ast.Name)
+                        else "a broad tuple"
+                    )
+                    yield self.finding(
+                        mod,
+                        node,
+                        f"`except {name}: pass` swallows the error with no "
+                        "trace; log, collect, or re-raise it",
+                    )

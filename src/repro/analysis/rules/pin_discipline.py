@@ -1,0 +1,51 @@
+"""pin-discipline: raw ``pin()``/``unpin()`` outside the pool internals.
+
+A raw ``pin()`` with an exception before the matching ``unpin()``
+leaves the frame unevictable forever — the pool fills with pinned
+garbage and ``get_page`` eventually raises ``BufferPoolFullError``.
+``BufferManager.pinned(pid)`` / ``Page.pinned()`` pair the two in a
+context manager; only ``storage/page.py`` (which defines them) and
+``storage/bufferpool/manager.py`` (which must pin under its own lock
+while claiming write-back batches) may call the raw methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import Rule, register_rule
+from . import path_matches
+
+ALLOWED_PATHS = (
+    "repro/storage/page.py",
+    "repro/storage/bufferpool/manager.py",
+)
+
+
+@register_rule
+class PinDisciplineRule(Rule):
+    id = "pin-discipline"
+    summary = "raw pin()/unpin() calls instead of the pinned() context managers"
+    hint = (
+        "use `with pool.pinned(pid) as page:` or `with page.pinned():` so the "
+        "unpin runs on every exit path"
+    )
+
+    def run(self, project) -> Iterator[Finding]:
+        for mod in project.modules:
+            if path_matches(mod.rel, ALLOWED_PATHS):
+                continue
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not isinstance(node.func, ast.Attribute):
+                    continue
+                if node.func.attr in ("pin", "unpin") and not node.args:
+                    yield self.finding(
+                        mod,
+                        node,
+                        f"raw .{node.func.attr}() call; an exception between "
+                        "pin and unpin leaks the pin count",
+                    )

@@ -1,0 +1,129 @@
+"""spawn-safety: unpicklable state crossing the process boundary.
+
+The process executor (PR 7) spawns workers, so everything a worker
+receives — the ``ShardFactory`` recipe, the ``Process`` target, task
+payloads on the pipe — must survive ``pickle``.  Lambdas, nested
+functions, lock objects and open file handles do not; under the
+``spawn`` start method the failure surfaces only at runtime, on a
+platform that may not be the developer's.  This rule flags, anywhere in
+the tree:
+
+* ``ShardFactory(...)`` construction whose arguments contain a lambda,
+  a ``threading`` lock/condition/semaphore, or an ``open(...)`` call;
+* ``Process(target=...)`` whose target is a lambda or a function
+  defined inside the enclosing function (closures don't pickle);
+* ``.send(...)`` on a pipe-like connection (receiver named ``*conn*``)
+  with a lambda in the payload.
+
+Parent-side closures (thread-pool ``submit``/``submit_task`` thunks)
+are fine and are not flagged — only spawn/pickle boundaries are.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from .. import astutil
+from ..findings import Finding
+from ..registry import Rule, register_rule
+
+THREADING_OBJECTS = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Event"}
+
+
+def _unpicklable_in(expr: ast.AST) -> Optional[str]:
+    """Describe the first unpicklable construct inside ``expr``, if any."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Lambda):
+            return "a lambda"
+        if isinstance(node, ast.Call):
+            name = astutil.call_func_name(node)
+            if name in THREADING_OBJECTS:
+                dotted = astutil.dotted_name(node.func) or name
+                if dotted == name or dotted.startswith(("threading.", "multiprocessing.")):
+                    return f"a {dotted}() synchronisation primitive"
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                return "an open file handle"
+    return None
+
+
+def _nested_function_names(func) -> Set[str]:
+    names: Set[str] = set()
+    for node in astutil.local_nodes(func):
+        if isinstance(node, astutil.FUNCTION_TYPES):
+            names.add(node.name)
+    return names
+
+
+@register_rule
+class SpawnSafetyRule(Rule):
+    id = "spawn-safety"
+    summary = "lambdas, locks or open handles crossing the process boundary"
+    hint = (
+        "pass picklable data (paths, specs, dotted names) and rebuild the "
+        "object inside the worker; see ShardFactory in executor_proc.py"
+    )
+
+    def run(self, project) -> Iterator[Finding]:
+        for mod in project.modules:
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                yield from self._check_factory(mod, node)
+                yield from self._check_process_target(mod, node)
+                yield from self._check_conn_send(mod, node)
+
+    def _check_factory(self, mod, call: ast.Call) -> Iterator[Finding]:
+        name = astutil.call_func_name(call)
+        if name != "ShardFactory":
+            return
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            what = _unpicklable_in(arg)
+            if what is not None:
+                yield self.finding(
+                    mod,
+                    arg,
+                    f"ShardFactory recipe captures {what}; recipes are pickled "
+                    "into spawned workers and must hold plain data only",
+                )
+
+    def _check_process_target(self, mod, call: ast.Call) -> Iterator[Finding]:
+        name = astutil.call_func_name(call)
+        if name != "Process":
+            return
+        target = astutil.keyword_arg(call, "target")
+        if target is None:
+            return
+        if isinstance(target, ast.Lambda):
+            yield self.finding(
+                mod,
+                target,
+                "Process target is a lambda; spawn pickles the target, so it "
+                "must be a module-level function",
+            )
+            return
+        if isinstance(target, ast.Name):
+            func = astutil.enclosing_function(call)
+            if func is not None and target.id in _nested_function_names(func):
+                yield self.finding(
+                    mod,
+                    target,
+                    f"Process target {target.id!r} is a nested function; spawn "
+                    "pickles the target, so it must be module-level",
+                )
+
+    def _check_conn_send(self, mod, call: ast.Call) -> Iterator[Finding]:
+        if astutil.call_attr(call) != "send":
+            return
+        receiver = astutil.receiver_dotted(call)
+        if receiver is None or "conn" not in receiver.split(".")[-1]:
+            return
+        for arg in call.args:
+            lam = astutil.contains_lambda(arg)
+            if lam is not None:
+                yield self.finding(
+                    mod,
+                    lam,
+                    "lambda sent over a process pipe; pipe payloads are "
+                    "pickled and lambdas are not picklable",
+                )

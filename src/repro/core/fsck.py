@@ -46,6 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..flash.chip import FlashChip
 from ..flash.errors import ProgramError
 from ..flash.spare import CHECKSUM_HEADER_SIZE, PageType, SpareArea, data_checksum
 from ..ftl.errors import OutOfSpaceError
@@ -57,6 +58,7 @@ from .differential import (
     encode_differential_page,
 )
 from .pdl import PdlDriver
+from .tables import MappingEntry
 
 #: Accounting phase for fsck I/O.
 FSCK_PHASE = "fsck"
@@ -210,7 +212,7 @@ class _SweepState:
         return self._decoded[addr]
 
 
-def _sweep(chip, report: FsckReport) -> _SweepState:
+def _sweep(chip: FlashChip, report: FsckReport) -> _SweepState:
     """Full-media scan: every spare area, then every programmed data area."""
     state = _SweepState()
     for start in range(0, chip.spec.n_pages, FSCK_CHUNK_PAGES):
@@ -245,7 +247,7 @@ def _sweep(chip, report: FsckReport) -> _SweepState:
     return state
 
 
-def _mark_obsolete_quietly(chip, addr: int) -> None:
+def _mark_obsolete_quietly(chip: FlashChip, addr: int) -> None:
     """Quarantine a page, tolerating damage to the spare area itself."""
     try:
         chip.mark_obsolete(addr)
@@ -255,11 +257,11 @@ def _mark_obsolete_quietly(chip, addr: int) -> None:
         pass
 
 
-def _checkpoint_region_pages(driver) -> int:
+def _checkpoint_region_pages(driver: PdlDriver) -> int:
     return driver.checkpoint_region_blocks * driver.spec.pages_per_block
 
 
-def _checksum_capable(driver) -> bool:
+def _checksum_capable(driver: PdlDriver) -> bool:
     """Whether this chip's geometry can carry data checksums at all.
 
     Geometry alone is *necessary but not sufficient* evidence that a
@@ -276,7 +278,9 @@ def _checksum_capable(driver) -> bool:
     return driver.spec.page_spare_size >= CHECKSUM_HEADER_SIZE
 
 
-def _check_bases(driver, state: _SweepState, report: FsckReport, repair: bool) -> None:
+def _check_bases(
+    driver: PdlDriver, state: _SweepState, report: FsckReport, repair: bool
+) -> None:
     """Decision-tree step 1: every live base page, against the mapping."""
     expect_checksum = state.expect_checksum
     for pid, entry in list(driver.ppmt.items()):
@@ -306,7 +310,14 @@ def _check_bases(driver, state: _SweepState, report: FsckReport, repair: bool) -
         _repair_base(driver, state, report, pid, entry, kind)
 
 
-def _repair_base(driver, state, report, pid, entry, kind) -> None:
+def _repair_base(
+    driver: PdlDriver,
+    state: _SweepState,
+    report: FsckReport,
+    pid: int,
+    entry: MappingEntry,
+    kind: str,
+) -> None:
     chip = driver.chip
     bad_addr = entry.base_addr
     donors = [
@@ -403,7 +414,7 @@ def _repair_base(driver, state, report, pid, entry, kind) -> None:
 
 
 def _check_differentials(
-    driver, state: _SweepState, report: FsckReport, repair: bool
+    driver: PdlDriver, state: _SweepState, report: FsckReport, repair: bool
 ) -> None:
     """Decision-tree step 2: every referenced differential page."""
     expect_checksum = state.expect_checksum
@@ -443,7 +454,14 @@ def _check_differentials(
         _repair_differential_page(driver, state, report, addr, pids, kind)
 
 
-def _repair_differential_page(driver, state, report, addr, pids, kind) -> None:
+def _repair_differential_page(
+    driver: PdlDriver,
+    state: _SweepState,
+    report: FsckReport,
+    addr: int,
+    pids: List[int],
+    kind: str,
+) -> None:
     """Salvage what the corrupted differential page held, then retire it."""
     chip = driver.chip
     salvaged: List[Tuple[int, Differential]] = []
@@ -528,7 +546,9 @@ def _repair_differential_page(driver, state, report, addr, pids, kind) -> None:
         )
 
 
-def _reflush_salvaged(driver, salvaged) -> None:
+def _reflush_salvaged(
+    driver: PdlDriver, salvaged: List[Tuple[int, Differential]]
+) -> None:
     """Write salvaged differentials to fresh pages, re-pointing entries."""
     chip = driver.chip
     capacity = driver.buffer.capacity
@@ -564,7 +584,7 @@ def _reflush_salvaged(driver, salvaged) -> None:
 
 
 def _quarantine_unreferenced(
-    driver, state: _SweepState, report: FsckReport, repair: bool
+    driver: PdlDriver, state: _SweepState, report: FsckReport, repair: bool
 ) -> None:
     """Decision-tree steps 3–4: checkpoint region and unreferenced damage."""
     chip = driver.chip

@@ -25,7 +25,7 @@ gets a fresh, strictly larger stamp.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 from ..flash.chip import FlashChip
 from ..flash.spare import PageType, SpareArea
@@ -43,8 +43,11 @@ from .differential import (
     encode_differential_page,
     find_differential,
 )
-from .tables import PhysicalPageMappingTable, ValidDifferentialCountTable
+from .tables import MappingEntry, PhysicalPageMappingTable, ValidDifferentialCountTable
 from .write_buffer import DifferentialWriteBuffer
+
+if TYPE_CHECKING:
+    from .fsck import FsckReport
 
 
 def format_size(n_bytes: int) -> str:
@@ -69,7 +72,7 @@ class PdlDriver(PageUpdateMethod):
         victim_policy: Optional[VictimPolicy] = None,
         checkpoint_region_blocks: int = 0,
         gc_config: Optional[GcConfig] = None,
-    ):
+    ) -> None:
         super().__init__(chip)
         if max_differential_size <= 0:
             raise ValueError("max_differential_size must be positive")
@@ -234,7 +237,7 @@ class PdlDriver(PageUpdateMethod):
             finally:
                 self.gc.on_write_end()
 
-    def fsck(self, repair: bool = True):
+    def fsck(self, repair: bool = True) -> "FsckReport":
         """Scan for single-page corruption and repair it online.
 
         Returns a :class:`repro.core.fsck.FsckReport`; see that module
@@ -247,7 +250,7 @@ class PdlDriver(PageUpdateMethod):
     # ------------------------------------------------------------------
     # Batched entry points
     # ------------------------------------------------------------------
-    def load_pages(self, pages) -> None:
+    def load_pages(self, pages: Iterable[Tuple[int, bytes]]) -> None:
         """Bulk-load many pages via batched chip programs.
 
         Charges are identical to looping :meth:`load_page`; batches are
@@ -283,7 +286,11 @@ class PdlDriver(PageUpdateMethod):
                 staged_pids.add(pid)
             commit()
 
-    def write_pages(self, pages, update_logs=None) -> None:
+    def write_pages(
+        self,
+        pages: Iterable[Tuple[int, bytes]],
+        update_logs: Optional[List[ChangeRun]] = None,
+    ) -> None:
         """Reflect many pages, batching the base-page re-reads.
 
         PDL_Writing's step 1 re-reads every target's base page; a
@@ -456,7 +463,7 @@ class PdlDriver(PageUpdateMethod):
     # ------------------------------------------------------------------
     # Internals / introspection
     # ------------------------------------------------------------------
-    def _entry_of(self, pid: int):
+    def _entry_of(self, pid: int) -> MappingEntry:
         entry = self.ppmt.get(pid)
         if entry is None:
             raise UnknownPageError(f"logical page {pid} was never written")

@@ -24,7 +24,7 @@ crash time are lost, the paper's file-buffer analogy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..flash.chip import FlashChip
 from ..flash.errors import ChecksumError, ProgramError
@@ -155,7 +155,16 @@ def recover_tables(
     return report
 
 
-def _scan_base_page(chip, addr, pid, ts, ppmt, diff_ts, drop_diff, report) -> None:
+def _scan_base_page(
+    chip: FlashChip,
+    addr: int,
+    pid: Optional[int],
+    ts: int,
+    ppmt: PhysicalPageMappingTable,
+    diff_ts: Dict[int, int],
+    drop_diff: Callable[[int], None],
+    report: RecoveryReport,
+) -> None:
     """Case 1 of Figure 11: the scanned page is a base page."""
     if pid is None:
         # A base page without a pid (torn spare program) cannot be mapped
@@ -190,7 +199,15 @@ def _scan_base_page(chip, addr, pid, ts, ppmt, diff_ts, drop_diff, report) -> No
         drop_diff(pid)
 
 
-def _scan_diff_page(chip, addr, ppmt, vdct, diff_ts, drop_diff, report) -> None:
+def _scan_diff_page(
+    chip: FlashChip,
+    addr: int,
+    ppmt: PhysicalPageMappingTable,
+    vdct: ValidDifferentialCountTable,
+    diff_ts: Dict[int, int],
+    drop_diff: Callable[[int], None],
+    report: RecoveryReport,
+) -> None:
     """Case 2 of Figure 11: the scanned page is a differential page."""
     try:
         data, _spare = chip.read_page(addr)
@@ -231,7 +248,7 @@ def recover_driver(
     coalesce_gap: int = DEFAULT_COALESCE_GAP,
     reserve_blocks: int = 2,
     victim_policy: "Optional[VictimPolicy]" = None,
-    **driver_kwargs,
+    **driver_kwargs: Any,
 ) -> "tuple[PdlDriver, RecoveryReport]":
     """Build a fully operational :class:`PdlDriver` from post-crash flash.
 

@@ -25,7 +25,7 @@ class BufferFullError(RuntimeError):
 class DifferentialWriteBuffer:
     """In-memory staging area for differentials, one physical page wide."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("buffer capacity must be positive")
         self.capacity = capacity

@@ -172,7 +172,7 @@ class DeviceBackend(ABC):
 class MemoryBackend(DeviceBackend):
     """The original volatile store: plain Python lists."""
 
-    def __init__(self, spec: FlashSpec):
+    def __init__(self, spec: FlashSpec) -> None:
         self.spec = spec
         self._data: List[Optional[bytes]] = [None] * spec.n_pages
         self._spare: List[Optional[bytes]] = [None] * spec.n_pages
@@ -217,19 +217,21 @@ class MemoryBackend(DeviceBackend):
         self._erase_counts[block] += 1
 
     # -- batched -------------------------------------------------------
-    def read_pages(self, addrs):
+    def read_pages(
+        self, addrs: Sequence[int]
+    ) -> List[Tuple[Optional[bytes], Optional[bytes]]]:
         for a in addrs:
             self._check_addr(a)
         data, spare = self._data, self._spare
         return [(data[a], spare[a]) for a in addrs]
 
-    def read_spares(self, addrs):
+    def read_spares(self, addrs: Sequence[int]) -> List[Optional[bytes]]:
         for a in addrs:
             self._check_addr(a)
         spare = self._spare
         return [spare[a] for a in addrs]
 
-    def program_pages(self, items) -> None:
+    def program_pages(self, items: Sequence[Tuple[int, bytes, bytes]]) -> None:
         for addr, data, spare in items:
             self.program_page(addr, data, spare)
 
@@ -281,7 +283,9 @@ class FileBackend(DeviceBackend):
     programmed before touching its data — costs no I/O.
     """
 
-    def __init__(self, path: "str | os.PathLike", spec: Optional[FlashSpec] = None):
+    def __init__(
+        self, path: "str | os.PathLike[str]", spec: Optional[FlashSpec] = None
+    ) -> None:
         self.path = os.fspath(path)
         if os.path.exists(self.path):
             self._open_existing(spec)
@@ -460,12 +464,14 @@ class FileBackend(DeviceBackend):
         )
 
     # -- batched -------------------------------------------------------
-    def read_pages(self, addrs):
+    def read_pages(
+        self, addrs: Sequence[int]
+    ) -> List[Tuple[Optional[bytes], Optional[bytes]]]:
         metas = self._meta_run(addrs)
         out: List[Tuple[Optional[bytes], Optional[bytes]]] = []
         data_size = self.spec.page_data_size
         spare_size = self.spec.page_spare_size
-        for addr, (dp, sp), data_buf, spare_buf in zip(
+        for _addr, (dp, sp), data_buf, spare_buf in zip(
             addrs,
             metas,
             self._region_run(addrs, self._data_off, data_size),
@@ -476,7 +482,7 @@ class FileBackend(DeviceBackend):
             )
         return out
 
-    def read_spares(self, addrs):
+    def read_spares(self, addrs: Sequence[int]) -> List[Optional[bytes]]:
         metas = self._meta_run(addrs)
         spare_size = self.spec.page_spare_size
         return [
@@ -486,7 +492,7 @@ class FileBackend(DeviceBackend):
             )
         ]
 
-    def program_pages(self, items) -> None:
+    def program_pages(self, items: Sequence[Tuple[int, bytes, bytes]]) -> None:
         # Coalesce contiguous address runs into single writes per region;
         # allocation is sequential within a block, so flushes, GC
         # relocations and bulk loads almost always form one run.
@@ -603,7 +609,7 @@ class FaultInjector(DeviceBackend):
     construction, so a fault sequence is reproducible run-to-run.
     """
 
-    def __init__(self, inner: DeviceBackend, seed: int = 0):
+    def __init__(self, inner: DeviceBackend, seed: int = 0) -> None:
         self.inner = inner
         self.spec = inner.spec
         self._rng = random.Random(seed)
@@ -614,7 +620,7 @@ class FaultInjector(DeviceBackend):
     # ------------------------------------------------------------------
     # Fault injection API
     # ------------------------------------------------------------------
-    def inject(self, kind: str, addr: int, **kwargs) -> None:
+    def inject(self, kind: str, addr: int, **kwargs: object) -> None:
         """Inject one fault of ``kind`` at page ``addr``."""
         if kind not in FAULT_KINDS:
             raise FaultInjectionError(
@@ -711,13 +717,15 @@ class FaultInjector(DeviceBackend):
     def erase_block(self, block: int) -> None:
         self.inner.erase_block(block)
 
-    def read_pages(self, addrs):
+    def read_pages(
+        self, addrs: Sequence[int]
+    ) -> List[Tuple[Optional[bytes], Optional[bytes]]]:
         return self.inner.read_pages(addrs)
 
-    def read_spares(self, addrs):
+    def read_spares(self, addrs: Sequence[int]) -> List[Optional[bytes]]:
         return self.inner.read_spares(addrs)
 
-    def program_pages(self, items) -> None:
+    def program_pages(self, items: Sequence[Tuple[int, bytes, bytes]]) -> None:
         self.inner.program_pages(items)
 
     def data_programs(self, addr: int) -> int:

@@ -41,7 +41,7 @@ class ReadCache:
     the entries so a cleared cache never reports stale ratios.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("read cache capacity must be at least one page")
         from ..storage.bufferpool.policy import LruPolicy

@@ -170,7 +170,7 @@ class FlashChip:
         backend: Optional[DeviceBackend] = None,
         read_cache_pages: int = 0,
         realtime_scale: float = 0.0,
-    ):
+    ) -> None:
         if spec is None and backend is None:
             raise ValueError("FlashChip needs a spec or a backend")
         if backend is None:

@@ -102,14 +102,14 @@ class _PhaseScope:
 
     __slots__ = ("_stack", "_name")
 
-    def __init__(self, stack: List[str], name: str):
+    def __init__(self, stack: List[str], name: str) -> None:
         self._stack = stack
         self._name = name
 
     def __enter__(self) -> None:
         self._stack.append(self._name)
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         self._stack.pop()
         return False
 
@@ -155,7 +155,9 @@ class FlashStats:
     helpers so a workload can measure only its steady-state window.
     """
 
-    def __init__(self, n_blocks: int, t_read_us: float, t_write_us: float, t_erase_us: float):
+    def __init__(
+        self, n_blocks: int, t_read_us: float, t_write_us: float, t_erase_us: float
+    ) -> None:
         self._t_read = t_read_us
         self._t_write = t_write_us
         self._t_erase = t_erase_us

@@ -252,6 +252,8 @@ def _worker_main(conn, shm_name: str, factory: ShardFactory) -> None:
             # _op_close) is harmless but guarded anyway.
             try:
                 driver.chip.close()
+            # repro: allow[bare-except] -- worker exit path: the parent is
+            # gone or stopping, there is nowhere left to report a close error
             except Exception:
                 pass
     finally:
@@ -425,14 +427,14 @@ def _await_reply(conn):
 
 
 def _call_task(phase, fn, args, kwargs):
-    def task(conn, buf):
+    def task(conn, _buf):
         conn.send(("call", phase, fn, args, kwargs))
         return _await_reply(conn)
 
     return task
 
 
-def _stop_task(conn, buf):
+def _stop_task(conn, _buf):
     conn.send(("stop",))
     try:
         conn.recv()
@@ -479,6 +481,7 @@ class ProcessShardExecutor:
         self._shms: List[shared_memory.SharedMemory] = []
         self._shutdown = False
         self._shutdown_started = False
+        self._reaped = False
         self._submit_lock = threading.Lock()
         self._finalizers: List[Callable[[], None]] = []
         #: Per-worker build metadata from the ready handshake (driver
@@ -486,22 +489,31 @@ class ProcessShardExecutor:
         self.meta: List[dict] = [{} for _ in range(n)]
         try:
             for i, factory in enumerate(self.factories):
+                # Each resource is registered the moment it exists, so
+                # the except-reap below can release it even when a later
+                # step of the same iteration (Pipe, Process.start) is
+                # what raised.
                 frame = max(1, factory.spec.page_data_size)
                 shm = shared_memory.SharedMemory(
                     create=True, size=frame * frames_per_worker
                 )
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, shm.name, factory),
-                    name=f"{name}-{i}",
-                    daemon=True,  # a forgotten shutdown must not hang exit
-                )
-                proc.start()
-                child_conn.close()
                 self._shms.append(shm)
+                parent_conn, child_conn = ctx.Pipe()
                 self._conns.append(parent_conn)
-                self._procs.append(proc)
+                try:
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(child_conn, shm.name, factory),
+                        name=f"{name}-{i}",
+                        daemon=True,  # a forgotten shutdown must not hang exit
+                    )
+                    proc.start()
+                    self._procs.append(proc)
+                finally:
+                    # The child end must stay open until start() has
+                    # pickled it into the worker; close it in the parent
+                    # on success and failure alike.
+                    child_conn.close()
             for i, conn in enumerate(self._conns):
                 if not conn.poll(start_timeout_s):
                     raise WorkerCrashError(
@@ -622,33 +634,47 @@ class ProcessShardExecutor:
     # Lifecycle
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True) -> None:
-        """Drain mailboxes, stop workers, reap processes.  Idempotent."""
+        """Drain mailboxes, stop workers, reap processes.  Idempotent.
+
+        ``shutdown(wait=False)`` only initiates the stop; a later
+        ``shutdown()`` (or ``__exit__``) still reaps — the
+        started/reaped states are tracked separately so no call order
+        can leak processes or shared-memory segments.
+        """
         with self._submit_lock:
-            if self._shutdown_started:
-                return
+            already_started = self._shutdown_started
             self._shutdown_started = True
-        for finalizer in self._finalizers:
-            try:
-                finalizer()
-            except Exception:
-                pass  # a dead worker must not block reaping the rest
-        stop_futures = []
-        with self._submit_lock:
-            self._shutdown = True
-            for mailbox in self._mailboxes:
-                future: Future = Future()
-                mailbox.put((future, _stop_task))
-                stop_futures.append(future)
-                mailbox.put(_STOP)
-        for future in stop_futures:
-            try:
-                future.result(timeout=30)
-            except Exception:
-                pass
+        if not already_started:
+            for finalizer in self._finalizers:
+                try:
+                    finalizer()
+                # repro: allow[bare-except] -- best-effort snapshot hooks: a
+                # dead worker must not block reaping the rest
+                except Exception:
+                    pass
+            stop_futures = []
+            with self._submit_lock:
+                self._shutdown = True
+                for mailbox in self._mailboxes:
+                    future: Future = Future()
+                    mailbox.put((future, _stop_task))
+                    stop_futures.append(future)
+                    mailbox.put(_STOP)
+            for future in stop_futures:
+                try:
+                    future.result(timeout=30)
+                # repro: allow[bare-except] -- a worker that died mid-stop is
+                # handled by _reap's terminate path; errors surfaced earlier
+                except Exception:
+                    pass
         if wait:
             self._reap()
 
     def _reap(self, force: bool = False) -> None:
+        with self._submit_lock:
+            if self._reaped:
+                return
+            self._reaped = True
         for thread in self._threads:
             thread.join(timeout=30)
         for proc in self._procs:

@@ -372,21 +372,27 @@ class BufferManager:
         # The write-back decision reads the victim's *current* dirty
         # state, not the scan's verdict — a clean-scan candidate that a
         # racing writer dirtied in between still gets written back.
-        victim = self._frames.pop(pid)
-        self.policy.remove(pid)
-        self._evict_gen[pid] = self._evict_gen.get(pid, 0) + 1
-        self.stats.evictions += 1
+        # The frame is only removed after a successful write-back: a
+        # raising driver abandons the eviction with the page still
+        # dirty and resident instead of dropping it on the floor.
+        victim = self._frames[pid]
         if victim.dirty:
             self.stats.dirty_evictions += 1
             self.stats.sync_writebacks += 1
             start = time.perf_counter()
-            self._write_back_locked(victim)
-            self.stats.eviction_stalls.record(
-                (time.perf_counter() - start) * 1e6
-            )
+            try:
+                self._write_back_locked(victim)
+            finally:
+                self.stats.eviction_stalls.record(
+                    (time.perf_counter() - start) * 1e6
+                )
         else:
             self.stats.clean_reclaims += 1
             self.stats.eviction_stalls.record(0.0)
+        del self._frames[pid]
+        self.policy.remove(pid)
+        self._evict_gen[pid] = self._evict_gen.get(pid, 0) + 1
+        self.stats.evictions += 1
         victim.detach()
 
     def _pin_evictable(self, pid: int) -> bool:

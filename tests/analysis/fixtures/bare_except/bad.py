@@ -1,0 +1,16 @@
+"""Fixture: bare except and a swallowed broad catch (2 findings)."""
+
+
+def worker_loop(tasks):
+    for task in tasks:
+        try:
+            task()
+        except:  # noqa: E722
+            continue
+
+
+def swallow(chip):
+    try:
+        chip.close()
+    except Exception:
+        pass

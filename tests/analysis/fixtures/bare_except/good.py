@@ -1,0 +1,23 @@
+"""Fixture: specific catches, collected errors, justified swallows (0 findings)."""
+
+
+def collected(tasks, errors):
+    for task in tasks:
+        try:
+            task()
+        except ValueError as exc:
+            errors.append(exc)
+
+
+def rethrown(chip):
+    try:
+        chip.close()
+    except Exception:
+        raise RuntimeError("close failed") from None
+
+
+def justified(chip):
+    try:
+        chip.close()
+    except Exception:  # repro: allow[bare-except] -- chip already broken; close is best-effort
+        pass

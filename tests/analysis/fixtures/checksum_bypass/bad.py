@@ -1,0 +1,9 @@
+"""Fixture: unverified reads outside the repair modules (2 findings)."""
+
+
+def sloppy_read(chip, addr):
+    return chip.read_page(addr, verify=False)
+
+
+def sloppy_bulk(chip, addrs):
+    return chip.read_pages(addrs, verify=False)

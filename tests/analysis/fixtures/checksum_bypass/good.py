@@ -1,0 +1,13 @@
+"""Fixture: verified reads, and an explicit verify=True (0 findings)."""
+
+
+def careful_read(chip, addr):
+    return chip.read_page(addr)
+
+
+def explicit_read(chip, addr):
+    return chip.read_page(addr, verify=True)
+
+
+def other_kwarg(chip, addrs):
+    return chip.read_pages(addrs, verify=bool(addrs))

@@ -1,0 +1,18 @@
+"""Fixture: two locks taken in opposite orders (1 cycle finding)."""
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self.alloc_lock = threading.Lock()
+        self.flush_lock = threading.Lock()
+
+    def allocate(self):
+        with self.alloc_lock:
+            with self.flush_lock:
+                return 1
+
+    def flush(self):
+        with self.flush_lock:
+            with self.alloc_lock:
+                return 2

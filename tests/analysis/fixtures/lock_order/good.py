@@ -1,0 +1,32 @@
+"""Fixture: consistent order, plus an alias via Condition (0 findings)."""
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self.alloc_lock = threading.Lock()
+        self.flush_lock = threading.Lock()
+        self.flush_cond = threading.Condition(self.flush_lock)
+
+    def allocate(self):
+        with self.alloc_lock:
+            with self.flush_lock:
+                return 1
+
+    def drain(self):
+        with self.alloc_lock:
+            with self.flush_cond:  # same lock as flush_lock: consistent
+                return 2
+
+    def flush_only(self):
+        with self.flush_lock:
+            return 3
+
+
+class Daemon:
+    def __init__(self, pool):
+        self.cond = pool.flush_cond  # alias resolves to Pool.flush_lock
+
+    def wait(self):
+        with self.cond:
+            return 4

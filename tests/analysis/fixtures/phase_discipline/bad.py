@@ -1,0 +1,17 @@
+"""Fixture: unguarded phase scopes, hooks and timers (3 findings)."""
+import time
+
+
+def bare_phase_call(stats):
+    stats.phase("gc")  # scope object discarded: stack never pops
+
+
+def begin_without_end(gc, chip, pid, data):
+    gc.on_write_begin()
+    chip.program_page(pid, data)
+
+
+def unguarded_timer(stats, driver, pid, data):
+    start = time.perf_counter()
+    driver.write_page(pid, data)
+    stats.stalls.record((time.perf_counter() - start) * 1e6)

@@ -1,0 +1,27 @@
+"""Fixture: with-scoped phases, finally-paired hooks and timers (0 findings)."""
+import time
+
+
+def scoped_phase(stats, chip, pid):
+    with stats.phase("read_step"):
+        return chip.read_page(pid)
+
+
+def paired_hooks(gc, chip, pid, data):
+    gc.on_write_begin()
+    try:
+        chip.program_page(pid, data)
+    finally:
+        gc.on_write_end()
+
+
+def guarded_timer(stats, driver, pid, data):
+    start = time.perf_counter()
+    try:
+        driver.write_page(pid, data)
+    finally:
+        stats.stalls.record((time.perf_counter() - start) * 1e6)
+
+
+def stack_phase(stack, stats):
+    stack.enter_context(stats.phase("load"))

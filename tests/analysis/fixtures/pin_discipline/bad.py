@@ -1,0 +1,10 @@
+"""Fixture: raw pin/unpin outside the pool internals (2 findings)."""
+
+
+def leaky(pool, pid):
+    page = pool.get_page(pid)
+    page.pin()
+    try:
+        return page.data
+    finally:
+        page.unpin()

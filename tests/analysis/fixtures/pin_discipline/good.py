@@ -1,0 +1,11 @@
+"""Fixture: the pinned() context managers (0 findings)."""
+
+
+def scoped(pool, pid):
+    with pool.pinned(pid) as page:
+        return page.data
+
+
+def page_scoped(page):
+    with page.pinned():
+        return page.data

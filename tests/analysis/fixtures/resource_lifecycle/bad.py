@@ -1,0 +1,18 @@
+"""Fixture: leaked shm, unclosed chip, armed hook (3+ findings)."""
+from multiprocessing import shared_memory
+
+
+def leaky_shm(name, size):
+    shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+    return shm.buf
+
+
+def dropped_chip(spec, pid):
+    chip = FlashChip(spec)  # noqa: F821
+    chip.program_page(pid, b"x")
+    return pid
+
+
+class HookLeaker:
+    def arm(self, chip, callback):
+        chip.on_operation(callback)

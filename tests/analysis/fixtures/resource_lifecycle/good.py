@@ -1,0 +1,35 @@
+"""Fixture: shm under try+unlink, closed chip, paired hooks (0 findings)."""
+from multiprocessing import shared_memory
+
+
+def careful_shm(name, size):
+    shm = None
+    try:
+        shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+        return bytes(shm.buf)
+    finally:
+        if shm is not None:
+            shm.close()
+            shm.unlink()
+
+
+def closed_chip(spec, pid):
+    chip = FlashChip(spec)  # noqa: F821
+    try:
+        chip.program_page(pid, b"x")
+    finally:
+        chip.close()
+
+
+def escaping_chip(spec, registry):
+    chip = FlashChip(spec)  # noqa: F821
+    registry.append(chip)  # ownership handed off; caller closes
+
+
+class HookPairer:
+    def arm(self, chip, callback):
+        self.chip = chip
+        chip.on_operation(callback)
+
+    def disarm(self):
+        self.chip.on_operation(None)

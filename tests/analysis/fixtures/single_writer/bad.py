@@ -1,0 +1,19 @@
+"""Fixture: direct shard mutation outside the sharding layer (4 findings)."""
+
+
+def direct_subscript(driver, pid, data):
+    driver.shards[0].write_page(pid, data)
+
+
+def via_loop(driver):
+    for shard in driver.shards:
+        shard.flush()
+
+
+def via_local(driver, pid, data):
+    hot = driver.shards[1]
+    hot.write_pages([(pid, data)])
+
+
+def via_lambda(driver, index, pid, data):
+    return lambda s=driver.shards[index]: s.write_page(pid, data)

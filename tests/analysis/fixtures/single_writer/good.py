@@ -1,0 +1,14 @@
+"""Fixture: routed writes and read-only shard access (0 findings)."""
+
+
+def routed(driver, pid, data):
+    driver.write_page(pid, data)  # the router owns shard dispatch
+
+
+def read_only(driver):
+    return [shard.stats.snapshot() for shard in driver.shards]
+
+
+def read_config(driver):
+    shard = driver.shards[0]
+    return shard.effective_max

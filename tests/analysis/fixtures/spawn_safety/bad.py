@@ -1,0 +1,23 @@
+"""Fixture: unpicklable state at the process boundary (4 findings)."""
+import threading
+from multiprocessing import Process
+
+
+def lambda_in_recipe(path, spec):
+    return ShardFactory(path=path, build=lambda: spec)  # noqa: F821
+
+
+def lock_in_recipe(path, spec):
+    return ShardFactory(path=path, spec=spec, guard=threading.Lock())  # noqa: F821
+
+
+def nested_target(conn):
+    def run():
+        conn.recv()
+
+    proc = Process(target=run)
+    return proc
+
+
+def lambda_on_pipe(parent_conn, pid):
+    parent_conn.send(("task", lambda: pid))

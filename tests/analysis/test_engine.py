@@ -1,0 +1,175 @@
+"""Engine behaviour: suppressions, baseline round-trips, parse errors."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, BaselineError, analyze
+from repro.analysis.baseline import BaselineEntry
+
+BAD_READ = "def f(chip, a):\n    return chip.read_page(a, verify=False)\n"
+
+
+def write(tmp_path: Path, name: str, source: str) -> Path:
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Inline suppressions
+# ---------------------------------------------------------------------------
+def test_trailing_suppression(tmp_path):
+    write(
+        tmp_path,
+        "a.py",
+        "def f(chip, a):\n"
+        "    return chip.read_page(a, verify=False)"
+        "  # repro: allow[checksum-bypass] -- fixture\n",
+    )
+    result = analyze([tmp_path], root=tmp_path)
+    assert result.new == []
+    assert [f.rule for f in result.suppressed] == ["checksum-bypass"]
+
+
+def test_standalone_comment_suppresses_next_line(tmp_path):
+    write(
+        tmp_path,
+        "a.py",
+        "def f(chip, a):\n"
+        "    # repro: allow[checksum-bypass] -- reading a torn page on purpose\n"
+        "    return chip.read_page(a, verify=False)\n",
+    )
+    result = analyze([tmp_path], root=tmp_path)
+    assert result.new == []
+    assert len(result.suppressed) == 1
+
+
+def test_multiline_standalone_comment_suppresses_following_code(tmp_path):
+    write(
+        tmp_path,
+        "a.py",
+        "def f(chip, a):\n"
+        "    # repro: allow[checksum-bypass] -- a justification that is\n"
+        "    # long enough to wrap across two comment lines\n"
+        "    return chip.read_page(a, verify=False)\n",
+    )
+    result = analyze([tmp_path], root=tmp_path)
+    assert result.new == []
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    write(
+        tmp_path,
+        "a.py",
+        "def f(chip, a):\n"
+        "    return chip.read_page(a, verify=False)"
+        "  # repro: allow[pin-discipline] -- wrong rule id\n",
+    )
+    result = analyze([tmp_path], root=tmp_path)
+    assert [f.rule for f in result.new] == ["checksum-bypass"]
+
+
+def test_wildcard_suppression(tmp_path):
+    write(
+        tmp_path,
+        "a.py",
+        "def f(chip, a):\n"
+        "    return chip.read_page(a, verify=False)  # repro: allow[*] -- generated\n",
+    )
+    result = analyze([tmp_path], root=tmp_path)
+    assert result.new == []
+
+
+def test_allow_comment_inside_string_is_ignored(tmp_path):
+    write(
+        tmp_path,
+        "a.py",
+        'NOTE = "# repro: allow[checksum-bypass]"\n'
+        "def f(chip, a):\n"
+        "    return chip.read_page(a, verify=False)\n",
+    )
+    result = analyze([tmp_path], root=tmp_path)
+    assert [f.rule for f in result.new] == ["checksum-bypass"]
+
+
+# ---------------------------------------------------------------------------
+# Baseline round-trips
+# ---------------------------------------------------------------------------
+def test_baseline_roundtrip_grandfathers_findings(tmp_path):
+    write(tmp_path, "a.py", BAD_READ)
+    first = analyze([tmp_path], root=tmp_path)
+    assert len(first.new) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(first.new, "legacy torn-page probe").save(baseline_path)
+    baseline = Baseline.load(baseline_path)
+
+    second = analyze([tmp_path], root=tmp_path, baseline=baseline)
+    assert second.new == []
+    assert len(second.grandfathered) == 1
+    assert second.stale_baseline == []
+    assert second.ok
+
+
+def test_baseline_requires_justification(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        '{"version": 1, "findings": [{"rule": "checksum-bypass", '
+        '"path": "a.py", "message": "m", "justification": "  "}]}',
+        encoding="utf-8",
+    )
+    with pytest.raises(BaselineError, match="justification"):
+        Baseline.load(baseline_path)
+
+
+def test_baseline_rejects_malformed_json(tmp_path):
+    baseline_path = write(tmp_path, "baseline.json", "{not json")
+    with pytest.raises(BaselineError, match="valid JSON"):
+        Baseline.load(baseline_path)
+
+
+def test_stale_baseline_entries_are_reported(tmp_path):
+    write(tmp_path, "a.py", "x = 1\n")
+    baseline = Baseline(
+        entries=[
+            BaselineEntry(
+                rule="checksum-bypass",
+                path="a.py",
+                message="long gone",
+                justification="was fixed in a later PR",
+            )
+        ]
+    )
+    result = analyze([tmp_path], root=tmp_path, baseline=baseline)
+    assert result.new == []
+    assert len(result.stale_baseline) == 1
+    assert result.ok  # stale entries are notes, not failures
+
+
+def test_baseline_match_ignores_line_numbers(tmp_path):
+    write(tmp_path, "a.py", BAD_READ)
+    first = analyze([tmp_path], root=tmp_path)
+    baseline = Baseline.from_findings(first.new, "grandfathered")
+    # Shift the finding down two lines; (rule, path, message) still match.
+    write(tmp_path, "a.py", "import os\nUSED = os.name\n" + BAD_READ)
+    second = analyze([tmp_path], root=tmp_path, baseline=baseline)
+    assert second.new == []
+    assert len(second.grandfathered) == 1
+
+
+# ---------------------------------------------------------------------------
+# Parse failures
+# ---------------------------------------------------------------------------
+def test_unparseable_file_fails_the_run(tmp_path):
+    write(tmp_path, "a.py", "def broken(:\n")
+    result = analyze([tmp_path], root=tmp_path)
+    assert not result.ok
+    assert result.broken and result.broken[0][0] == "a.py"
+
+
+def test_clean_tree_is_ok(tmp_path):
+    write(tmp_path, "a.py", "def f():\n    return 1\n")
+    result = analyze([tmp_path], root=tmp_path)
+    assert result.ok
+    assert result.new == []

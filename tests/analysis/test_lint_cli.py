@@ -1,0 +1,122 @@
+"""CLI contract: exit codes, formats, baseline flags, seeded-violation gate."""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CLI = REPO_ROOT / "scripts" / "lint_invariants.py"
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_cli(*args, cwd=REPO_ROOT):
+    return subprocess.run(
+        [sys.executable, str(CLI), *map(str, args)],
+        capture_output=True,
+        text=True,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+def test_clean_tree_exits_zero(tmp_path):
+    (tmp_path / "ok.py").write_text("def f():\n    return 1\n")
+    proc = run_cli(tmp_path, "--no-baseline")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_seeded_violation_tree_exits_one(tmp_path):
+    """The CI gate demonstration: a bad fixture planted in a tree fails it."""
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "ok.py").write_text("def f():\n    return 1\n")
+    shutil.copy(FIXTURES / "checksum_bypass" / "bad.py", tree / "seeded.py")
+    proc = run_cli(tree, "--no-baseline")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "checksum-bypass" in proc.stdout
+
+
+def test_missing_path_exits_two(tmp_path):
+    proc = run_cli(tmp_path / "does-not-exist")
+    assert proc.returncode == 2
+    assert "no such path" in proc.stderr
+
+
+def test_unknown_rule_exits_two(tmp_path):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    proc = run_cli(tmp_path, "--rule", "no-such-rule")
+    assert proc.returncode == 2
+    assert "unknown rule" in proc.stderr
+
+
+def test_malformed_baseline_exits_two(tmp_path):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    bad = tmp_path / "baseline.json"
+    bad.write_text("{broken")
+    proc = run_cli(tmp_path, "--baseline", bad)
+    assert proc.returncode == 2
+    assert "baseline" in proc.stderr
+
+
+def test_list_rules():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    listed = {line.split(":")[0] for line in proc.stdout.strip().splitlines()}
+    assert {
+        "single-writer",
+        "phase-discipline",
+        "spawn-safety",
+        "resource-lifecycle",
+        "pin-discipline",
+        "lock-order",
+        "bare-except",
+        "checksum-bypass",
+    } <= listed
+
+
+def test_json_format_and_output_file(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    shutil.copy(FIXTURES / "pin_discipline" / "bad.py", tree / "bad.py")
+    out = tmp_path / "findings.json"
+    proc = run_cli(tree, "--no-baseline", "--format", "json", "--output", out)
+    assert proc.returncode == 1
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is False
+    assert [f["rule"] for f in payload["findings"]] == ["pin-discipline"] * 2
+    assert all(f["path"] == "bad.py" for f in payload["findings"])
+
+
+def test_write_baseline_then_rerun_is_clean(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    shutil.copy(FIXTURES / "bare_except" / "bad.py", tree / "bad.py")
+    baseline = tmp_path / "baseline.json"
+
+    wrote = run_cli(
+        tree,
+        "--baseline",
+        baseline,
+        "--write-baseline",
+        "--justification",
+        "grandfathered during gate rollout",
+    )
+    assert wrote.returncode == 0, wrote.stdout + wrote.stderr
+    assert baseline.is_file()
+
+    rerun = run_cli(tree, "--baseline", baseline)
+    assert rerun.returncode == 0, rerun.stdout + rerun.stderr
+    assert "2 baselined" in rerun.stdout
+
+
+def test_single_rule_filter(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    shutil.copy(FIXTURES / "checksum_bypass" / "bad.py", tree / "a.py")
+    shutil.copy(FIXTURES / "pin_discipline" / "bad.py", tree / "b.py")
+    proc = run_cli(tree, "--no-baseline", "--rule", "pin-discipline")
+    assert proc.returncode == 1
+    assert "pin-discipline" in proc.stdout
+    assert "checksum-bypass" not in proc.stdout

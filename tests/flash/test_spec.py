@@ -99,7 +99,7 @@ class TestModifiers:
         assert spec.page_data_size == 2048
 
     def test_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):
             SAMSUNG_K9L8G08U0M.n_blocks = 1  # type: ignore[misc]
 
 

@@ -387,7 +387,7 @@ class TestProcessRecovery:
 class TestWorkerFailureHandling:
     def test_startup_failure_reaps_and_raises(self):
         bad = ShardFactory(label="definitely-not-a-method", spec=SPEC)
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError, match="unknown method label"):
             ProcessShardExecutor([bad])
 
     def test_dead_worker_reported_as_crash(self):
