@@ -1,0 +1,96 @@
+"""The differential-equivalence oracle.
+
+Every configuration that replays the same resolved stream must be
+indistinguishable at the logical level:
+
+* **identical state hash** — the SHA-256 over all final page images
+  (content divergence means some engine lost or reordered an update);
+* **identical logical traffic** — each cell executed the same number of
+  reads and updates (a replay that silently dropped ops would otherwise
+  go unnoticed if the dropped ops were no-ops on content);
+* **clean self-checks** — ``check_driver``/fsck found every cell's
+  internal tables consistent (``None`` = the method has no checker,
+  vacuously clean);
+* **clean accounting audit** — each cell's device counters are
+  explained by its policy (erase accounting agrees across independent
+  counter paths, traffic exists exactly when the stream implies it,
+  checksum verification never failed).
+
+Device-level counters (reads/writes/erases/time) legitimately differ
+across configurations — that difference *is* the experiment — so the
+oracle records but never compares them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .cells import CellResult
+
+
+class OracleDivergence(AssertionError):
+    """Two configurations disagreed about the same scenario."""
+
+
+@dataclass
+class OracleVerdict:
+    """Outcome of comparing one scenario's cells."""
+
+    scenario: str
+    configs: List[str]
+    state_hash: str = ""
+    equivalent: bool = True
+    failures: List[str] = field(default_factory=list)
+
+    def raise_if_diverged(self) -> None:
+        if not self.equivalent:
+            detail = "; ".join(self.failures[:6])
+            more = len(self.failures) - 6
+            if more > 0:
+                detail += f" (+{more} more)"
+            raise OracleDivergence(f"scenario {self.scenario!r}: {detail}")
+
+
+def compare_cells(cells: List[CellResult]) -> OracleVerdict:
+    """Cross-check all cells of one scenario; never raises itself."""
+    if not cells:
+        raise ValueError("compare_cells needs at least one cell")
+    scenarios = {cell.scenario for cell in cells}
+    if len(scenarios) != 1:
+        raise ValueError(f"cells span multiple scenarios: {sorted(scenarios)}")
+    verdict = OracleVerdict(
+        scenario=cells[0].scenario,
+        configs=[cell.config for cell in cells],
+        state_hash=cells[0].state_hash,
+    )
+    reference = cells[0]
+    for cell in cells[1:]:
+        if cell.state_hash != reference.state_hash:
+            verdict.failures.append(
+                f"state hash of {cell.config!r} ({cell.state_hash[:12]}…) != "
+                f"{reference.config!r} ({reference.state_hash[:12]}…)"
+            )
+        if (cell.n_reads, cell.n_updates) != (
+            reference.n_reads,
+            reference.n_updates,
+        ):
+            verdict.failures.append(
+                f"logical traffic of {cell.config!r} "
+                f"({cell.n_reads}r/{cell.n_updates}u) != {reference.config!r} "
+                f"({reference.n_reads}r/{reference.n_updates}u)"
+            )
+    for cell in cells:
+        if cell.check_ok is False:
+            head = cell.check_violations[:2]
+            verdict.failures.append(
+                f"{cell.config!r} failed its consistency check: "
+                + ("; ".join(head) or "unknown violation")
+            )
+        if not cell.audit_ok:
+            verdict.failures.append(
+                f"{cell.config!r} failed the stats audit: "
+                + "; ".join(cell.audit_notes[:2])
+            )
+    verdict.equivalent = not verdict.failures
+    return verdict

@@ -1,6 +1,19 @@
 """Workload generators (S8–S9): the paper's synthetic update operations,
-read/update mixes, and scaled TPC-C."""
+read/update mixes, scaled TPC-C, and the named access-pattern registry
+behind the scenario suite (see ``docs/workloads.md``)."""
 
+from .patterns import (
+    AccessPattern,
+    Trace,
+    TraceError,
+    TracePattern,
+    TraceRecorder,
+    load_trace,
+    make_pattern,
+    pattern_names,
+    record_pattern,
+    register_pattern,
+)
 from .runner import (
     MethodMeasurement,
     RunnerConfig,
@@ -10,17 +23,33 @@ from .runner import (
     measure_updates,
     warm_to_steady_state,
 )
-from .synthetic import SyntheticConfig, SyntheticWorkload, VerificationError
+from .synthetic import (
+    PlannedCycle,
+    SyntheticConfig,
+    SyntheticWorkload,
+    VerificationError,
+)
 
 __all__ = [
+    "AccessPattern",
     "MethodMeasurement",
+    "PlannedCycle",
     "RunnerConfig",
     "SyntheticConfig",
     "SyntheticWorkload",
+    "Trace",
+    "TraceError",
+    "TracePattern",
+    "TraceRecorder",
     "VerificationError",
     "aging_horizon",
     "build_workload",
+    "load_trace",
+    "make_pattern",
     "measure_mix",
     "measure_updates",
+    "pattern_names",
+    "record_pattern",
+    "register_pattern",
     "warm_to_steady_state",
 ]

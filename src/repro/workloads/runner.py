@@ -358,9 +358,11 @@ def measure_sharded_updates(
     is timed with the host clock (``wall_s``), so the simulated model
     can be compared against observed elapsed time.  ``client_threads``
     greater than 1 drives the window from that many concurrent client
-    threads on disjoint pid partitions — only valid for ``par`` labels,
-    whose :class:`~repro.sharding.executor.ParallelShardedDriver`
-    serializes each shard's operations on its own worker.
+    threads on disjoint pid partitions of one pre-drawn plan — the same
+    seeded operation stream a serial window executes, so the measured
+    work (and final database state) is thread-count-invariant.  Only
+    valid for ``par``/``proc`` labels, whose sharded executors serialize
+    each shard's operations on its own worker.
     """
     workload = build_workload(
         label, runner, pct_changed, n_updates_till_write, method_kwargs
@@ -406,8 +408,6 @@ def measure_sharded_updates(
         chip.stats.total_erases - before
         for chip, before in zip(chips, erases_before)
     ]
-    # The threaded window executes floor(measure_ops / T) cycles per
-    # client; divide by what actually ran, not by what was requested.
     n_ops = workload.update_cycles - cycles_before
     return ShardScalingPoint(
         label=label,

@@ -1,0 +1,103 @@
+"""Unit tests for resolved scenario streams."""
+
+import pytest
+
+from repro.scenarios.stream import ResolvedOp, ScenarioStream, build_stream
+from repro.workloads.patterns import READ, UPDATE, ZipfPattern, make_pattern
+
+N_PAGES = 24
+PAGE = 256
+
+
+def stream(pattern_name="zipf-0.9", n_ops=200, seed=42, **kwargs):
+    return build_stream(
+        make_pattern(pattern_name),
+        n_pages=N_PAGES,
+        n_ops=n_ops,
+        page_size=PAGE,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestBuildStream:
+    def test_resolves_every_op(self):
+        s = stream()
+        assert len(s.ops) == 200
+        assert s.n_reads + s.n_updates == 200
+
+    def test_updates_carry_runs_reads_do_not(self):
+        s = stream("ycsb-a")
+        for op in s.ops:
+            if op.kind == UPDATE:
+                assert op.runs and all(len(r.data) > 0 for r in op.runs)
+            else:
+                assert op.kind == READ and op.runs == ()
+
+    def test_same_seed_same_stream(self):
+        assert stream().ops == stream().ops
+
+    def test_different_seed_different_stream(self):
+        assert stream(seed=1).ops != stream(seed=2).ops
+
+    def test_mutation_lane_isolated_from_pattern_lane(self):
+        """Re-tuning mutation sizing must not shift which pages the
+        pattern touches — the two RNG lanes are independent."""
+        small = stream(change_size=4)
+        large = stream(change_size=64)
+        assert [(op.kind, op.pid) for op in small.ops] == [
+            (op.kind, op.pid) for op in large.ops
+        ]
+        assert small.ops != large.ops  # payload sizes differ
+
+    def test_every_eighth_update_is_near_full_rewrite(self):
+        s = stream("sequential", n_ops=64)
+        sizes = [sum(len(r.data) for r in op.runs) for op in s.ops]
+        big = [sz for sz in sizes if sz >= (PAGE * 15) // 16]
+        assert len(big) == 64 // 8
+
+    def test_runs_stay_inside_the_page(self):
+        for op in stream("scan-hot").ops:
+            for run in op.runs:
+                assert 0 <= run.offset
+                assert run.offset + len(run.data) <= PAGE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_stream(
+                ZipfPattern(0.9), n_pages=0, n_ops=1, page_size=PAGE, seed=1
+            )
+        with pytest.raises(ValueError):
+            build_stream(
+                ZipfPattern(0.9), n_pages=4, n_ops=-1, page_size=PAGE, seed=1
+            )
+
+
+class TestScenarioStream:
+    def test_initial_images_deterministic_and_full_size(self):
+        s = stream()
+        a, b = s.initial_images(), s.initial_images()
+        assert a == b
+        assert len(a) == N_PAGES
+        assert all(len(data) == PAGE for _pid, data in a)
+
+    def test_expected_images_apply_all_updates(self):
+        s = stream("sequential", n_ops=N_PAGES)  # one update per page
+        initial = dict(s.initial_images())
+        final = s.expected_images()
+        assert set(final) == set(initial)
+        assert all(final[pid] != initial[pid] for pid in final)
+
+    def test_read_only_stream_leaves_images_untouched(self):
+        s = stream("ycsb-c")
+        assert s.n_updates == 0
+        assert s.expected_images() == dict(s.initial_images())
+
+    def test_resolved_op_is_hashable_record(self):
+        op = ResolvedOp(READ, 3)
+        assert op.pid == 3 and op.runs == ()
+        assert isinstance(hash(op), int)
+
+    def test_counts(self):
+        s = ScenarioStream("x", 4, PAGE, 1, ops=[ResolvedOp(READ, 0)])
+        assert s.n_reads == 1 and s.n_updates == 0

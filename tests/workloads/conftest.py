@@ -1,0 +1,48 @@
+"""Shared fixtures for the workload test suite.
+
+Everything here runs on the tiny chip geometry (see the root conftest):
+a 64-page database at 25 % utilization with a short measurement window
+keeps full runner sweeps to a few milliseconds per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flash.chip import FlashChip
+from repro.flash.spec import TINY_SPEC
+from repro.methods import make_method
+from repro.workloads.runner import RunnerConfig
+from repro.workloads.synthetic import SyntheticConfig, SyntheticWorkload
+
+
+@pytest.fixture
+def small_runner() -> RunnerConfig:
+    """The runner config shared by the measurement and scenario tests."""
+    return RunnerConfig(
+        database_pages=64, measure_ops=40, base_spec=TINY_SPEC, utilization=0.25
+    )
+
+
+@pytest.fixture
+def make_workload(tiny_spec):
+    """Factory: a loaded single-chip workload for any method label."""
+
+    def build(
+        label: str = "PDL (64B)", *, database_pages: int = 12, seed: int = 3
+    ) -> SyntheticWorkload:
+        chip = FlashChip(tiny_spec)
+        driver = make_method(label, chip)
+        wl = SyntheticWorkload(
+            driver, SyntheticConfig(database_pages=database_pages, seed=seed)
+        )
+        wl.load()
+        return wl
+
+    return build
+
+
+@pytest.fixture
+def workload(make_workload) -> SyntheticWorkload:
+    """A loaded 12-page PDL workload (the historical default fixture)."""
+    return make_workload()

@@ -7,7 +7,6 @@ from repro.ftl.errors import ConfigurationError
 from repro.sharding.executor import ParallelShardedDriver
 from repro.workloads.runner import (
     MethodMeasurement,
-    RunnerConfig,
     aging_horizon,
     build_workload,
     measure_sharded_updates,
@@ -15,76 +14,72 @@ from repro.workloads.runner import (
     warm_to_steady_state,
 )
 
-SMALL = RunnerConfig(
-    database_pages=64, measure_ops=40, base_spec=TINY_SPEC, utilization=0.25
-)
-
 
 class TestAgingHorizon:
-    def test_pdl_horizon_grows_with_max_diff(self):
-        wl_small = build_workload("PDL (64B)", SMALL, 2.0, 1)
-        wl_big = build_workload("PDL (256B)", SMALL, 2.0, 1)
+    def test_pdl_horizon_grows_with_max_diff(self, small_runner):
+        wl_small = build_workload("PDL (64B)", small_runner, 2.0, 1)
+        wl_big = build_workload("PDL (256B)", small_runner, 2.0, 1)
         h_small = aging_horizon(wl_small.driver, wl_small.change_size)
         h_big = aging_horizon(wl_big.driver, wl_big.change_size)
         assert h_big > h_small >= 1
 
-    def test_non_pdl_horizon_is_one(self):
-        wl = build_workload("OPU", SMALL, 2.0, 1)
+    def test_non_pdl_horizon_is_one(self, small_runner):
+        wl = build_workload("OPU", small_runner, 2.0, 1)
         assert aging_horizon(wl.driver, wl.change_size) == 1
 
-    def test_large_changes_cap_horizon(self):
-        wl = build_workload("PDL (256B)", SMALL, 100.0, 1)
+    def test_large_changes_cap_horizon(self, small_runner):
+        wl = build_workload("PDL (256B)", small_runner, 100.0, 1)
         assert aging_horizon(wl.driver, wl.change_size) == 1
 
 
 class TestWarmup:
-    def test_warmup_reaches_gc_activity(self):
-        wl = build_workload("OPU", SMALL, 2.0, 1)
-        warm_to_steady_state(wl, SMALL)
+    def test_warmup_reaches_gc_activity(self, small_runner):
+        wl = build_workload("OPU", small_runner, 2.0, 1)
+        warm_to_steady_state(wl, small_runner)
         assert wl.driver.stats.total_erases >= TINY_SPEC.n_blocks // 2
 
-    def test_warmup_preserves_data(self):
-        wl = build_workload("PDL (64B)", SMALL, 2.0, 1)
-        warm_to_steady_state(wl, SMALL)
+    def test_warmup_preserves_data(self, small_runner):
+        wl = build_workload("PDL (64B)", small_runner, 2.0, 1)
+        warm_to_steady_state(wl, small_runner)
         wl.verify_all()
 
-    def test_ipu_warmup_is_short(self):
-        wl = build_workload("IPU", SMALL, 2.0, 1)
-        ops = warm_to_steady_state(wl, SMALL)
-        assert ops == SMALL.database_pages  # aging pass only
+    def test_ipu_warmup_is_short(self, small_runner):
+        wl = build_workload("IPU", small_runner, 2.0, 1)
+        ops = warm_to_steady_state(wl, small_runner)
+        assert ops == small_runner.database_pages  # aging pass only
 
 
 class TestMeasurement:
-    def test_measure_updates_shape(self):
-        m = measure_updates("OPU", SMALL, pct_changed=2.0)
+    def test_measure_updates_shape(self, small_runner):
+        m = measure_updates("OPU", small_runner, pct_changed=2.0)
         assert isinstance(m, MethodMeasurement)
-        assert m.n_ops == SMALL.measure_ops
+        assert m.n_ops == small_runner.measure_ops
         assert m.read_us > 0
         assert m.write_us > 0
         assert m.overall_us == pytest.approx(m.read_us + m.write_us + m.gc_us)
 
-    def test_opu_exact_costs(self):
+    def test_opu_exact_costs(self, small_runner):
         """OPU's per-op cost is deterministic: 1 read + 2 writes (+GC)."""
-        m = measure_updates("OPU", SMALL, pct_changed=2.0)
+        m = measure_updates("OPU", small_runner, pct_changed=2.0)
         assert m.read_us == pytest.approx(TINY_SPEC.t_read_us)
         assert m.write_us == pytest.approx(2 * TINY_SPEC.t_write_us)
 
-    def test_as_dict_roundtrip(self):
-        m = measure_updates("IPU", SMALL, pct_changed=2.0)
+    def test_as_dict_roundtrip(self, small_runner):
+        m = measure_updates("IPU", small_runner, pct_changed=2.0)
         d = m.as_dict()
         assert d["label"] == "IPU"
         assert d["overall_us"] == pytest.approx(m.overall_us)
 
-    def test_spec_scaling(self):
-        spec = SMALL.spec()
-        assert spec.n_pages >= SMALL.database_pages / SMALL.utilization
+    def test_spec_scaling(self, small_runner):
+        spec = small_runner.spec()
+        assert spec.n_pages >= small_runner.database_pages / small_runner.utilization
 
 
 class TestWallClockMeasurement:
     """measure_sharded_updates: simulated model vs measured wall time."""
 
-    def test_wall_clock_recorded_alongside_simulated_model(self):
-        point = measure_sharded_updates("PDL (64B) x2", SMALL)
+    def test_wall_clock_recorded_alongside_simulated_model(self, small_runner):
+        point = measure_sharded_updates("PDL (64B) x2", small_runner)
         assert point.wall_s > 0.0
         assert point.wall_us_per_op == pytest.approx(
             point.wall_s * 1e6 / point.n_ops
@@ -95,24 +90,32 @@ class TestWallClockMeasurement:
         assert d["wall_s"] == point.wall_s
         assert d["measured_parallel"] is False
 
-    def test_par_label_builds_and_measures_parallel_driver(self):
-        point = measure_sharded_updates("PDL (64B) x2 par", SMALL)
+    def test_par_label_builds_and_measures_parallel_driver(self, small_runner):
+        point = measure_sharded_updates("PDL (64B) x2 par", small_runner)
         assert point.measured_parallel
         assert point.label.endswith("par")
         assert point.serial_us_per_op > 0
 
-    def test_threaded_clients_partition_the_window(self):
+    def test_threaded_clients_partition_the_window(self, small_runner):
         point = measure_sharded_updates(
-            "PDL (64B) x2 par", SMALL, client_threads=4
+            "PDL (64B) x2 par", small_runner, client_threads=4
         )
         assert point.client_threads == 4
         assert point.measured_parallel
         assert point.wall_s > 0.0
 
-    def test_threaded_clients_require_parallel_driver(self):
-        with pytest.raises(ConfigurationError):
-            measure_sharded_updates("PDL (64B) x2", SMALL, client_threads=4)
+    def test_threaded_clients_run_the_full_window(self, small_runner):
+        """The plan partition executes every requested cycle, even when
+        the window does not divide evenly by the thread count."""
+        point = measure_sharded_updates(
+            "PDL (64B) x2 par", small_runner, client_threads=3
+        )
+        assert point.n_ops == small_runner.measure_ops
 
-    def test_par_workload_builds_parallel_driver(self):
-        wl = build_workload("PDL (64B) x2 par", SMALL, 2.0, 1)
+    def test_threaded_clients_require_parallel_driver(self, small_runner):
+        with pytest.raises(ConfigurationError):
+            measure_sharded_updates("PDL (64B) x2", small_runner, client_threads=4)
+
+    def test_par_workload_builds_parallel_driver(self, small_runner):
+        wl = build_workload("PDL (64B) x2 par", small_runner, 2.0, 1)
         assert isinstance(wl.driver, ParallelShardedDriver)
