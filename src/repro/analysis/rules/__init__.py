@@ -19,6 +19,7 @@ def path_matches(rel: str, patterns) -> bool:
 from . import (  # noqa: E402, F401  (import-for-side-effect registration)
     checksum_bypass,
     error_handling,
+    journal_commit,
     lock_order,
     phase_discipline,
     pin_discipline,
@@ -30,6 +31,7 @@ from . import (  # noqa: E402, F401  (import-for-side-effect registration)
 __all__ = [
     "checksum_bypass",
     "error_handling",
+    "journal_commit",
     "lock_order",
     "path_matches",
     "phase_discipline",

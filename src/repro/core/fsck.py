@@ -258,7 +258,15 @@ def _mark_obsolete_quietly(chip: FlashChip, addr: int) -> None:
 
 
 def _checkpoint_region_pages(driver: PdlDriver) -> int:
-    return driver.checkpoint_region_blocks * driver.spec.pages_per_block
+    """Pages reserved for restart metadata (checkpoint + mapping regions).
+
+    The allocator's ``exclude_blocks`` is the single source of truth: it
+    covers the clean-shutdown checkpoint region and, for demand-paged
+    drivers, the mapping journal/snapshot region right after it.  Both
+    hold only CRC-sealed CHECKPOINT-type pages, so fsck applies the same
+    report-but-never-touch policy to the whole prefix.
+    """
+    return driver.blocks.exclude_blocks * driver.spec.pages_per_block
 
 
 def _checksum_capable(driver: PdlDriver) -> bool:
@@ -471,7 +479,7 @@ def _repair_differential_page(
         if buffered is not None and buffered.timestamp > entry.base_ts:
             # A newer buffered differential shadows the flash page on
             # every read; detaching the damaged page loses nothing.
-            entry.diff_addr = None
+            driver.ppmt.set_diff(pid, None)
             report.repaired_differentials += 1
             report.add(
                 PageFault(
@@ -502,7 +510,7 @@ def _repair_differential_page(
         else:
             # Nothing newer than the base survives: the page rolls back
             # to its base image.
-            entry.diff_addr = None
+            driver.ppmt.set_diff(pid, None)
             report.reverted_pids.append(pid)
             report.add(
                 PageFault(
@@ -527,7 +535,7 @@ def _repair_differential_page(
     except OutOfSpaceError:
         # Could not write the salvage page: the affected pids revert.
         for pid, _diff in salvaged:
-            driver.ppmt.require(pid).diff_addr = None
+            driver.ppmt.set_diff(pid, None)
             report.reverted_pids.append(pid)
             report.add(
                 PageFault(
@@ -569,8 +577,8 @@ def _reflush_salvaged(
             SpareArea(type=PageType.DIFFERENTIAL, timestamp=driver._next_ts()),
         )
         driver.blocks.note_valid(new_addr)
-        for pid, _diff in group:
-            driver.ppmt.require(pid).diff_addr = new_addr
+        for pid, diff in group:
+            driver.ppmt.set_diff(pid, new_addr, diff.timestamp)
             driver.vdct.increment(new_addr)
         group = []
         used = 0

@@ -1,0 +1,504 @@
+"""Tiered (demand-paged) mapping table — RAM overlay over flash-resident pages.
+
+The paper leaves mapping persistence as further study (Section 4.5); this
+module supplies the DFTL-style answer (Dayan & Bonnet, PAPERS.md): the
+authoritative ppmt lives on flash in a compact, struct-packed page format
+and only a bounded working set is held in RAM.  A shard can then serve a
+device far larger than its mapping RAM — the 10x target benchmarked in
+``benchmarks/bench_recovery.py``.
+
+Three cooperating pieces:
+
+* :class:`MappingConfig` — geometry and policy knobs, frozen and
+  picklable so it crosses the process-executor spawn boundary inside
+  ``ShardFactory.driver_kwargs``.
+* :class:`TieredMappingTable` — the ppmt facade the driver mutates.  It
+  is two tiers: a *dirty overlay* dict holding every entry touched since
+  the last snapshot (authoritative, bounded by the snapshot interval)
+  and a *clean cache* of decoded snapshot mapping pages, demand-paged
+  from the flash region through the store and evicted by a bufferpool
+  eviction policy (the registry of
+  :mod:`repro.storage.bufferpool.policy` — one LRU/clock implementation
+  in the tree, not three).  Every mutation both updates the overlay and
+  appends a journal record through the store, which is what makes crash
+  restart O(dirty tail) instead of O(device)
+  (:mod:`repro.ext.journal`).
+* :class:`JournaledVdct` — the vdct with the same journal emission, so
+  tail replay restores differential counts without re-reading any
+  differential page.
+
+The page codec here is shared by the snapshot writer and the demand
+reader; its wire format is documented in ``docs/recovery.md``.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple
+
+from ..flash.spec import FlashSpec
+from ..flash.stats import FlashStats
+from ..ftl.errors import ConfigurationError
+from .tables import MappingEntry, ValidDifferentialCountTable
+
+
+def _make_eviction_policy(name: str, capacity: int):
+    """Deferred import: ``repro.storage`` imports ``repro.core.pdl`` at
+    module level, so pulling the bufferpool policy registry in eagerly
+    would be circular.  The registry is only needed once a bounded cache
+    is actually constructed."""
+    from ..storage.bufferpool.policy import make_eviction_policy
+
+    return make_eviction_policy(name, capacity)
+
+#: Accounting phase for all mapping-tier flash traffic: demand page-in
+#: reads, journal flushes, snapshot writes and restart replay.  Pushed
+#: innermost, so the paper's read/write-step phase invariants (at most
+#: two flash reads per PDL_Reading, etc.) are unaffected by the tier.
+MAPPING_PHASE = "mapping"
+
+# ----------------------------------------------------------------------
+# Journal record kinds (fixed-size records; see repro.ext.journal)
+# ----------------------------------------------------------------------
+REC_SET_BASE = 1  #: a = pid, b = base addr, ts = base timestamp
+REC_MOVE_BASE = 2  #: a = pid, b = new base addr (GC relocation)
+REC_SET_DIFF = 3  #: a = pid, b = diff page addr, ts = differential stamp
+REC_CLEAR_DIFF = 4  #: a = pid
+REC_REMOVE = 5  #: a = pid
+REC_VDCT_INC = 6  #: a = diff page addr
+REC_VDCT_DEC = 7  #: a = diff page addr
+REC_VDCT_DROP = 8  #: a = diff page addr (row removed wholesale)
+REC_OPEN_BLOCK = 9  #: a = block id (journal-flushed before first program)
+
+#: One journal record: kind, two u32 operands, one u64 timestamp.
+RECORD = struct.Struct("<BIIQ")
+
+#: Snapshot mapping-page header: magic, snapshot seq, page index, n_entries.
+PAGE_HEADER = struct.Struct("<IIIH")
+
+#: One packed mapping entry: pid, base_addr, base_ts, diff_addr+1, diff_ts+1
+#: (+1 shifts keep 0 as "absent", which is also what erased 0xFF regions
+#: can never decode to a valid header around).
+ENTRY = struct.Struct("<IIQIQ")
+
+#: Magic stamped into every snapshot mapping page ("PMAP").
+DATA_MAGIC = 0x504D4150
+
+
+class MappingFormatError(ValueError):
+    """A mapping page failed structural validation during decode."""
+
+
+def entries_per_page(page_data_size: int) -> int:
+    """Packed entries one snapshot mapping page holds."""
+    count = (page_data_size - PAGE_HEADER.size) // ENTRY.size
+    if count < 1:
+        raise ConfigurationError(
+            f"page data area of {page_data_size} bytes cannot hold even one "
+            f"packed mapping entry ({PAGE_HEADER.size + ENTRY.size} bytes)"
+        )
+    return count
+
+
+def encode_mapping_page(
+    seq: int, index: int, items: List[Tuple[int, MappingEntry]], page_data_size: int
+) -> bytes:
+    """Pack sorted ``(pid, entry)`` rows into one snapshot page image."""
+    parts = [PAGE_HEADER.pack(DATA_MAGIC, seq, index, len(items))]
+    for pid, entry in items:
+        if entry.base_addr < 0:
+            raise MappingFormatError(
+                f"pid {pid} has a placeholder base (addr {entry.base_addr}); "
+                "placeholders are scan-transient and must never be persisted"
+            )
+        parts.append(
+            ENTRY.pack(
+                pid,
+                entry.base_addr,
+                entry.base_ts,
+                0 if entry.diff_addr is None else entry.diff_addr + 1,
+                0 if entry.diff_ts is None else entry.diff_ts + 1,
+            )
+        )
+    payload = b"".join(parts)
+    if len(payload) > page_data_size:
+        raise MappingFormatError(
+            f"{len(items)} entries overflow a {page_data_size}-byte page"
+        )
+    return payload
+
+
+def decode_mapping_page(
+    data: bytes, expect_seq: Optional[int] = None, expect_index: Optional[int] = None
+) -> Dict[int, MappingEntry]:
+    """Decode a snapshot page; raises :class:`MappingFormatError` on damage."""
+    if len(data) < PAGE_HEADER.size:
+        raise MappingFormatError("mapping page shorter than its header")
+    magic, seq, index, count = PAGE_HEADER.unpack_from(data)
+    if magic != DATA_MAGIC:
+        raise MappingFormatError(f"bad mapping page magic 0x{magic:08x}")
+    if expect_seq is not None and seq != expect_seq:
+        raise MappingFormatError(f"mapping page of snapshot {seq}, expected {expect_seq}")
+    if expect_index is not None and index != expect_index:
+        raise MappingFormatError(f"mapping page index {index}, expected {expect_index}")
+    if PAGE_HEADER.size + count * ENTRY.size > len(data):
+        raise MappingFormatError(f"mapping page claims {count} entries beyond its size")
+    entries: Dict[int, MappingEntry] = {}
+    offset = PAGE_HEADER.size
+    for _ in range(count):
+        pid, base, base_ts, diff1, diff_ts1 = ENTRY.unpack_from(data, offset)
+        offset += ENTRY.size
+        entries[pid] = MappingEntry(
+            base_addr=base,
+            base_ts=base_ts,
+            diff_addr=diff1 - 1 if diff1 else None,
+            diff_ts=diff_ts1 - 1 if diff_ts1 else None,
+        )
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MappingConfig:
+    """Geometry and policy of the tiered mapping subsystem.
+
+    The flash region is ``region_blocks`` blocks immediately after the
+    checkpoint region: first ``journal_blocks`` for the append-only
+    delta journal, then two equal snapshot halves (ping-pong — the half
+    being rewritten never overwrites the one being relied on).
+
+    ``cache_entries`` is the RAM budget of the clean translation cache
+    in *entries* (converted to whole mapping pages); ``0`` keeps every
+    demand-paged mapping page resident — still journaled and
+    snapshotted, but with unbounded mapping RAM.  ``snapshot_interval``
+    is the journal-record count that arms the next snapshot (taken at
+    the next driver safe point).
+    """
+
+    region_blocks: int
+    journal_blocks: int = 1
+    cache_entries: int = 0
+    cache_policy: str = "lru"
+    snapshot_interval: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.journal_blocks < 1:
+            raise ConfigurationError("journal_blocks must be at least 1")
+        halves = self.region_blocks - self.journal_blocks
+        if halves < 2 or halves % 2 != 0:
+            raise ConfigurationError(
+                "region_blocks must leave an even number (>= 2) of snapshot "
+                f"blocks after {self.journal_blocks} journal blocks; got "
+                f"{self.region_blocks}"
+            )
+        if self.cache_entries < 0:
+            raise ConfigurationError("cache_entries must be non-negative")
+        if self.snapshot_interval < 1:
+            raise ConfigurationError("snapshot_interval must be positive")
+
+    @property
+    def half_blocks(self) -> int:
+        return (self.region_blocks - self.journal_blocks) // 2
+
+    @classmethod
+    def auto(
+        cls,
+        spec: FlashSpec,
+        cache_entries: int = 0,
+        snapshot_interval: Optional[int] = None,
+        cache_policy: str = "lru",
+    ) -> "MappingConfig":
+        """Size the region for the worst case of ``spec``'s geometry.
+
+        A snapshot half must hold one packed entry per live logical page
+        (bounded by the device's page count) plus the meta sections
+        (directory, validity bitmap, vdct rows, active blocks) and the
+        seal page.  The journal is sized so roughly one snapshot
+        interval of half-full record pages fits before overflow.
+        """
+        per_page = entries_per_page(spec.page_data_size)
+        data_pages = -(-spec.n_pages // per_page)  # ceil
+        meta_bytes = (
+            4 * data_pages  # directory: first pid per data page
+            + -(-spec.n_pages // 8)  # validity bitmap
+            + 8 * (spec.n_pages // 8)  # vdct allowance (addr, count pairs)
+            + 64  # active-block list and counts
+        )
+        meta_pages = -(-meta_bytes // max(1, spec.page_data_size - PAGE_HEADER.size))
+        half_blocks = -(-(data_pages + meta_pages + 1) // spec.pages_per_block)
+        records_per_page = (spec.page_data_size - 18) // RECORD.size
+        if snapshot_interval is None:
+            snapshot_interval = max(64, spec.n_pages // 4)
+        # Half-full journal pages (group commit rarely fills a page), one
+        # reserved overflow page, rounded up to whole blocks.
+        journal_pages = 1 + -(-2 * snapshot_interval // max(1, records_per_page))
+        journal_blocks = max(1, -(-journal_pages // spec.pages_per_block))
+        return cls(
+            region_blocks=journal_blocks + 2 * half_blocks,
+            journal_blocks=journal_blocks,
+            cache_entries=cache_entries,
+            cache_policy=cache_policy,
+            snapshot_interval=snapshot_interval,
+        )
+
+
+# ----------------------------------------------------------------------
+# Store interface (implemented by repro.ext.journal.MappingStore)
+# ----------------------------------------------------------------------
+class MappingBackend(Protocol):
+    """What the tiered table needs from the journal/snapshot store."""
+
+    stats: FlashStats
+
+    @property
+    def entries_per_page(self) -> int: ...
+
+    @property
+    def data_page_count(self) -> int: ...
+
+    def page_index_of(self, pid: int) -> Optional[int]:
+        """Snapshot data page whose pid range covers ``pid`` (None: none)."""
+
+    def load_data_page(self, index: int) -> Dict[int, MappingEntry]:
+        """Demand-read and decode one snapshot mapping page (one Tread)."""
+
+    def record(self, kind: int, a: int, b: int = 0, ts: int = 0) -> None:
+        """Append one delta record to the journal (buffered, group-committed)."""
+
+
+# ----------------------------------------------------------------------
+# The tiered table
+# ----------------------------------------------------------------------
+class TieredMappingTable:
+    """ppmt facade: dirty overlay + bounded clean cache + flash snapshot.
+
+    Drop-in for :class:`~repro.core.tables.PhysicalPageMappingTable` —
+    every mutator additionally appends a journal record through the
+    store, and lookups that miss both RAM tiers demand-page the covering
+    snapshot page in.  Entries returned by :meth:`get` / :meth:`require`
+    are *copies* when they come from the clean tier; callers must mutate
+    through the table's methods (the in-place idiom would silently skip
+    the journal), which every driver path now does.
+    """
+
+    def __init__(
+        self,
+        store: MappingBackend,
+        cache_entries: int = 0,
+        cache_policy: str = "lru",
+    ) -> None:
+        self._store = store
+        #: pid -> entry dirtied since the last snapshot; ``None`` is a
+        #: tombstone shadowing a snapshot-resident row.
+        self._overlay: Dict[int, Optional[MappingEntry]] = {}
+        #: snapshot page index -> decoded page (clean tier).
+        self._cache: Dict[int, Dict[int, MappingEntry]] = {}
+        self._cache_entries = cache_entries
+        self._policy_name = cache_policy
+        if cache_entries > 0:
+            self._capacity_pages: Optional[int] = max(
+                1, cache_entries // store.entries_per_page
+            )
+            self._policy = _make_eviction_policy(cache_policy, self._capacity_pages)
+        else:
+            self._capacity_pages = None
+            self._policy = None
+        self._count = 0
+        self._max_pid = -1
+
+    # -- introspection --------------------------------------------------
+    @property
+    def max_pid(self) -> int:
+        """Largest pid ever mapped (monotonic; allocation-horizon input)."""
+        return self._max_pid
+
+    @property
+    def cached_pages(self) -> int:
+        """Clean-tier mapping pages currently resident (occupancy probe)."""
+        return len(self._cache)
+
+    @property
+    def cache_capacity_pages(self) -> Optional[int]:
+        return self._capacity_pages
+
+    @property
+    def overlay_size(self) -> int:
+        """Dirty entries since the last snapshot (tombstones included)."""
+        return len(self._overlay)
+
+    # -- lookups --------------------------------------------------------
+    def get(self, pid: int) -> Optional[MappingEntry]:
+        entry = self._overlay.get(pid)
+        if entry is not None:
+            self._store.stats.record_mapping_hit()
+            return entry
+        if pid in self._overlay:  # tombstone
+            self._store.stats.record_mapping_hit()
+            return None
+        return self._clean_entry(pid)
+
+    def require(self, pid: int) -> MappingEntry:
+        entry = self.get(pid)
+        if entry is None:
+            raise KeyError(f"logical page {pid} has no mapping entry")
+        return entry
+
+    def __contains__(self, pid: int) -> bool:
+        return self.get(pid) is not None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _clean_entry(self, pid: int) -> Optional[MappingEntry]:
+        index = self._store.page_index_of(pid)
+        if index is None:
+            self._store.stats.record_mapping_hit()
+            return None
+        page = self._cache.get(index)
+        if page is None:
+            page = self._store.load_data_page(index)  # records the miss
+            self._admit(index, page)
+        else:
+            self._store.stats.record_mapping_hit()
+            if self._policy is not None:
+                self._policy.touch(index)
+        entry = page.get(pid)
+        return entry.copy() if entry is not None else None
+
+    def _admit(self, index: int, page: Dict[int, MappingEntry]) -> None:
+        self._cache[index] = page
+        if self._policy is None:
+            return
+        self._policy.admit(index)
+        while len(self._cache) > (self._capacity_pages or 0):
+            victim = self._policy.select_victim(lambda _i: True)
+            if victim is None:  # pragma: no cover - capacity >= 1 guards this
+                break
+            self._policy.remove(victim)
+            self._cache.pop(victim, None)
+
+    def _live(self, pid: int) -> MappingEntry:
+        """The overlay's mutable entry for ``pid`` (copy-on-write)."""
+        entry = self._overlay.get(pid)
+        if entry is not None:
+            return entry
+        if pid in self._overlay:
+            raise KeyError(f"logical page {pid} has no mapping entry")
+        clean = self._clean_entry(pid)
+        if clean is None:
+            raise KeyError(f"logical page {pid} has no mapping entry")
+        self._overlay[pid] = clean  # already a private copy
+        return clean
+
+    # -- mutators (journal-emitting) ------------------------------------
+    def set_base(self, pid: int, addr: int, timestamp: int) -> None:
+        existed = self.get(pid) is not None
+        self._overlay[pid] = MappingEntry(base_addr=addr, base_ts=timestamp)
+        if not existed:
+            self._count += 1
+            if pid > self._max_pid:
+                self._max_pid = pid
+        self._store.record(REC_SET_BASE, pid, addr, timestamp)
+
+    def move_base(self, pid: int, addr: int) -> None:
+        self._live(pid).base_addr = addr
+        self._store.record(REC_MOVE_BASE, pid, addr)
+
+    def set_diff(
+        self, pid: int, addr: Optional[int], timestamp: Optional[int] = None
+    ) -> None:
+        entry = self._live(pid)
+        entry.diff_addr = addr
+        entry.diff_ts = timestamp if addr is not None else None
+        if addr is None:
+            self._store.record(REC_CLEAR_DIFF, pid)
+        else:
+            self._store.record(REC_SET_DIFF, pid, addr, timestamp or 0)
+
+    def remove(self, pid: int) -> Optional[MappingEntry]:
+        entry = self.get(pid)
+        if entry is None:
+            return None
+        self._overlay[pid] = None
+        self._count -= 1
+        self._store.record(REC_REMOVE, pid)
+        return entry
+
+    # -- iteration (full table walk: fsck, checkpoint, verification) ----
+    def items(self) -> Iterator[Tuple[int, MappingEntry]]:
+        """Every live row.  Streams snapshot pages without admitting them
+        to the clean cache (a full walk would otherwise evict the whole
+        working set), then the overlay; demand reads are charged to the
+        ``mapping`` phase like any other page-in."""
+        for index in range(self._store.data_page_count):
+            page = self._cache.get(index)
+            if page is None:
+                page = self._store.load_data_page(index)  # records the miss
+            for pid, entry in page.items():
+                if pid not in self._overlay:
+                    yield pid, entry.copy()
+        for pid, entry in self._overlay.items():
+            if entry is not None:
+                yield pid, entry
+
+    def pids(self) -> Iterator[int]:
+        return (pid for pid, _entry in self.items())
+
+    # -- snapshot cooperation (called by the store) ---------------------
+    def overlay_items(self) -> List[Tuple[int, Optional[MappingEntry]]]:
+        """Dirty rows, pid-sorted, tombstones included (snapshot merge input)."""
+        return sorted(self._overlay.items())
+
+    def on_snapshot(self) -> None:
+        """The store sealed a new snapshot: the overlay is now flash-resident
+        and the clean cache's decoded pages belong to the superseded one."""
+        self._overlay.clear()
+        self._cache.clear()
+        if self._capacity_pages is not None:
+            self._policy = _make_eviction_policy(
+                self._policy_name, self._capacity_pages
+            )
+
+    def seed_counts(self, count: int, max_pid: int) -> None:
+        """Adopt persisted table statistics at restart."""
+        self._count = count
+        self._max_pid = max_pid
+
+
+class JournaledVdct(ValidDifferentialCountTable):
+    """vdct that mirrors every count change into the mapping journal.
+
+    Tail replay applies the records back through the plain superclass
+    methods (journaling suppressed), so the restored counts are exactly
+    the live ones without reading any differential page's data area.
+    """
+
+    def __init__(self, store: MappingBackend) -> None:
+        super().__init__()
+        self._store = store
+
+    def increment(self, addr: int) -> None:
+        super().increment(addr)
+        self._store.record(REC_VDCT_INC, addr)
+
+    def decrement(self, addr: int) -> bool:
+        reached_zero = super().decrement(addr)
+        self._store.record(REC_VDCT_DEC, addr)
+        return reached_zero
+
+    def remove(self, addr: int) -> int:
+        count = super().remove(addr)
+        if count:
+            self._store.record(REC_VDCT_DROP, addr)
+        return count
+
+
+def directory_index(directory: List[int], pid: int) -> Optional[int]:
+    """Snapshot data page covering ``pid`` given first-pid-per-page keys."""
+    if not directory or pid < directory[0]:
+        return None
+    return bisect_right(directory, pid) - 1

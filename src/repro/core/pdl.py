@@ -43,10 +43,12 @@ from .differential import (
     encode_differential_page,
     find_differential,
 )
+from .mapping import JournaledVdct, MappingConfig, TieredMappingTable
 from .tables import MappingEntry, PhysicalPageMappingTable, ValidDifferentialCountTable
 from .write_buffer import DifferentialWriteBuffer
 
 if TYPE_CHECKING:
+    from ..ext.journal import MappingStore
     from .fsck import FsckReport
 
 
@@ -72,6 +74,7 @@ class PdlDriver(PageUpdateMethod):
         victim_policy: Optional[VictimPolicy] = None,
         checkpoint_region_blocks: int = 0,
         gc_config: Optional[GcConfig] = None,
+        mapping: Optional[MappingConfig] = None,
     ) -> None:
         super().__init__(chip)
         if max_differential_size <= 0:
@@ -84,10 +87,22 @@ class PdlDriver(PageUpdateMethod):
         self.gc_config = gc_config if gc_config is not None else GcConfig()
         if victim_policy is None and self.gc_config.policy != "greedy":
             self.name += f" gc={self.gc_config.policy}"
+        #: Journal/snapshot store of the tiered mapping table, or None
+        #: when the classic all-RAM tables are in use.
+        self.mapping: "Optional[MappingStore]" = None
+        mapping_region = 0
+        if mapping is not None:
+            # Local import: the ext layer imports this module at top level.
+            from ..ext.journal import MappingStore
+
+            self.mapping = MappingStore(
+                chip, mapping, base_block=checkpoint_region_blocks
+            )
+            mapping_region = mapping.region_blocks
         self.blocks = BlockManager(
             chip,
             reserve_blocks=reserve_blocks,
-            exclude_blocks=checkpoint_region_blocks,
+            exclude_blocks=checkpoint_region_blocks + mapping_region,
         )
         self.gc = GarbageCollector(
             chip, self.blocks, handler=self, policy=victim_policy,
@@ -98,8 +113,24 @@ class PdlDriver(PageUpdateMethod):
         # victims garbage-dense and cuts compaction's relocation volume.
         self._base_stream = COLD_STREAM
         self._diff_stream = HOT_STREAM if self.gc_config.hot_cold else COLD_STREAM
-        self.ppmt = PhysicalPageMappingTable()
-        self.vdct = ValidDifferentialCountTable()
+        self.ppmt: "PhysicalPageMappingTable | TieredMappingTable"
+        self.vdct: ValidDifferentialCountTable
+        if self.mapping is not None:
+            assert mapping is not None
+            self.ppmt = TieredMappingTable(
+                self.mapping,
+                cache_entries=mapping.cache_entries,
+                cache_policy=mapping.cache_policy,
+            )
+            self.vdct = JournaledVdct(self.mapping)
+            self.mapping.bind(self)
+            # Journal the open *before* the block's first program can
+            # land: after a crash the tail scan visits exactly the
+            # journaled open blocks plus the snapshot's active ones.
+            self.blocks.on_block_open = self.mapping.note_block_open
+        else:
+            self.ppmt = PhysicalPageMappingTable()
+            self.vdct = ValidDifferentialCountTable()
         buffer_capacity = self.page_size - PAGE_HEADER_SIZE
         self.buffer = DifferentialWriteBuffer(buffer_capacity)
         # A differential larger than the buffer can never be staged, so the
@@ -135,6 +166,17 @@ class PdlDriver(PageUpdateMethod):
         self._ts = max(self._ts, last_seen)
 
     # ------------------------------------------------------------------
+    # Mapping-tier pacing
+    # ------------------------------------------------------------------
+    def _mapping_tick(self, force: bool = False) -> None:
+        """Driver safe point: let the mapping store group-commit its
+        journal and take a due snapshot.  Called after each top-level
+        mutating entry point, outside every accounting phase and with no
+        GC victim in flight mid-step state to capture."""
+        if self.mapping is not None:
+            self.mapping.tick(force=force)
+
+    # ------------------------------------------------------------------
     # PageUpdateMethod: load / read / write / flush
     # ------------------------------------------------------------------
     def load_page(self, pid: int, data: bytes) -> None:
@@ -148,6 +190,7 @@ class PdlDriver(PageUpdateMethod):
             self.chip.program_page(addr, data, spare)
             self.blocks.note_valid(addr)
             self.ppmt.set_base(pid, addr, ts)
+        self._mapping_tick()
 
     def read_page(self, pid: int) -> bytes:
         """PDL_Reading (Figure 9): at most two flash reads."""
@@ -191,6 +234,7 @@ class PdlDriver(PageUpdateMethod):
                 self._reflect(pid, data, base)
             finally:
                 self.gc.on_write_end()
+        self._mapping_tick()
 
     def _reflect(self, pid: int, data: bytes, base: bytes) -> None:
         """Steps 2–3 of PDL_Writing, given the (pre-read) base image."""
@@ -236,6 +280,12 @@ class PdlDriver(PageUpdateMethod):
                 self._flush_buffer()
             finally:
                 self.gc.on_write_end()
+        self._mapping_tick(force=True)
+
+    def end_of_load(self) -> None:
+        """Initial bulk load finished: force the mapping journal down so
+        the freshly loaded table is durable before the workload starts."""
+        self._mapping_tick(force=True)
 
     def fsck(self, repair: bool = True) -> "FsckReport":
         """Scan for single-page corruption and repair it online.
@@ -285,6 +335,7 @@ class PdlDriver(PageUpdateMethod):
                 staged.append((addr, data, spare, pid, ts))
                 staged_pids.add(pid)
             commit()
+        self._mapping_tick()
 
     def write_pages(
         self,
@@ -331,6 +382,7 @@ class PdlDriver(PageUpdateMethod):
                         self._reflect(pid, data, bases[pid])
                 finally:
                     self.gc.on_write_end()
+        self._mapping_tick()
 
     # ------------------------------------------------------------------
     # Writing paths
@@ -384,7 +436,7 @@ class PdlDriver(PageUpdateMethod):
             entry = self.ppmt.require(diff.pid)
             if entry.diff_addr is not None:
                 self._drop_diff_ref(entry.diff_addr)
-            entry.diff_addr = addr
+            self.ppmt.set_diff(diff.pid, addr, diff.timestamp)
             self.vdct.increment(addr)
             # A compaction copy staged from the in-flight GC victim is
             # superseded by this flush; flushing it later would re-point
@@ -418,8 +470,14 @@ class PdlDriver(PageUpdateMethod):
             self.blocks.note_valid(new)
             self.ppmt.move_base(pid, new)
         elif spare.type is PageType.DIFFERENTIAL:
-            # Compaction: keep only still-valid differentials.
-            self.vdct.remove(addr)
+            # Compaction: keep only still-valid differentials.  The vdct
+            # row is dropped through the plain base class on purpose:
+            # the journal must not learn of the drop until every entry
+            # has been re-pointed at the compacted copy (finish_victim
+            # emits the REC_VDCT_DROP records after the compaction
+            # flush, before the erase) — a replayed early drop would
+            # retire a differential page the table still references.
+            ValidDifferentialCountTable.remove(self.vdct, addr)
             self._gc_victim_diffs.add(addr)
             for diff in decode_differential_page(data):
                 entry = self.ppmt.get(diff.pid)
@@ -437,8 +495,22 @@ class PdlDriver(PageUpdateMethod):
             )
 
     def finish_victim(self, block: int) -> None:
-        """Flush compacted differentials before the victim is erased."""
+        """Flush compacted differentials before the victim is erased.
+
+        With the mapping journal enabled this is also a forced group
+        commit: the victim's relocation records (MOVE_BASE, the
+        compaction SET_DIFFs, and the VDCT_DROPs emitted here) must be
+        durable before the erase destroys the old copies — a crash
+        after the erase would otherwise replay a table that points into
+        the erased block.
+        """
         self._flush_gc_buffer()
+        if self.mapping is not None:
+            from .mapping import REC_VDCT_DROP
+
+            for addr in sorted(self._gc_victim_diffs):
+                self.mapping.record(REC_VDCT_DROP, addr)
+            self.mapping.commit()
         self._gc_victim_diffs.clear()
 
     def _flush_gc_buffer(self) -> None:
@@ -456,8 +528,9 @@ class PdlDriver(PageUpdateMethod):
         self.blocks.note_valid(addr)
         for diff in diffs:
             # The old reference was inside the victim block (vdct entry
-            # already dropped); just re-point.
-            self.ppmt.require(diff.pid).diff_addr = addr
+            # already dropped); just re-point.  GC copies preserve their
+            # timestamps, so the entry stamp is unchanged.
+            self.ppmt.set_diff(diff.pid, addr, diff.timestamp)
             self.vdct.increment(addr)
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ from flash after a crash.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 
 @dataclass
@@ -25,11 +25,19 @@ class MappingEntry:
     ``base_ts`` mirrors the creation time stamp stored in the base page's
     spare area; keeping it in memory lets runtime code and the checkpoint
     extension reason about recency without extra flash reads.
+    ``diff_ts`` mirrors the adopted differential's entry stamp the same
+    way — recovery's seeded tail scan and the mapping journal both need
+    it to apply the strictly-newer adoption rule without re-reading the
+    differential page.
     """
 
     base_addr: int
     base_ts: int
     diff_addr: Optional[int] = None
+    diff_ts: Optional[int] = None
+
+    def copy(self) -> "MappingEntry":
+        return MappingEntry(self.base_addr, self.base_ts, self.diff_addr, self.diff_ts)
 
 
 class PhysicalPageMappingTable:
@@ -56,13 +64,18 @@ class PhysicalPageMappingTable:
             entry.base_addr = addr
             entry.base_ts = timestamp
             entry.diff_addr = None
+            entry.diff_ts = None
 
     def move_base(self, pid: int, addr: int) -> None:
         """Relocate the base page (GC) without touching the differential."""
         self.require(pid).base_addr = addr
 
-    def set_diff(self, pid: int, addr: Optional[int]) -> None:
-        self.require(pid).diff_addr = addr
+    def set_diff(
+        self, pid: int, addr: Optional[int], timestamp: Optional[int] = None
+    ) -> None:
+        entry = self.require(pid)
+        entry.diff_addr = addr
+        entry.diff_ts = timestamp if addr is not None else None
 
     def remove(self, pid: int) -> Optional[MappingEntry]:
         """Drop a row entirely (recovery of orphaned entries)."""
@@ -107,6 +120,10 @@ class ValidDifferentialCountTable:
 
     def count(self, addr: int) -> int:
         return self._counts.get(addr, 0)
+
+    def seed(self, rows: Iterable[Tuple[int, int]]) -> None:
+        """Bulk-load (addr, count) rows (snapshot restore path)."""
+        self._counts = {addr: n for addr, n in rows if n > 0}
 
     def remove(self, addr: int) -> int:
         """Forget a page entirely (its block was erased by GC)."""

@@ -19,15 +19,23 @@ with a CRC.  Restart logic:
   open time outranks the snapshot) ⇒ fall back to the full Figure-11
   scan, which is always sound.
 
-Incremental journaling of table changes between checkpoints remains
-future work here too; the fallback keeps the fast path strictly an
-optimization.
+Incremental journaling of table changes between checkpoints lives in
+:mod:`repro.ext.journal` (periodic snapshots + a delta journal, restart
+in O(dirty tail)); this module remains the clean-shutdown-only variant
+for drivers without a mapping region.  The fallback keeps the fast path
+strictly an optimization either way.
 
-Snapshot wire format (little-endian)::
+Snapshot wire format, version 2 (little-endian)::
 
     header page : u32 magic | u32 seq | u32 kind (1=snapshot, 2=marker)
                   | u32 n_entries | u32 n_pages | u32 crc | u64 max_ts
-    entry       : u32 pid | u32 base_addr | u64 base_ts | u32 diff_addr+1
+    entry       : u32 pid | u32 base_addr | u64 base_ts
+                  | u32 diff_addr+1 | u64 diff_ts+1
+
+Version 1 entries lacked ``diff_ts``, so a restored differential lost
+its timestamp and a subsequent crash-recovery scan could mis-order it
+against the on-flash copy.  The magic was bumped ("PDLC" → "PDLD"):
+version-1 images simply fail validation and take the always-sound scan.
 """
 
 from __future__ import annotations
@@ -46,9 +54,9 @@ from ..ftl.errors import ConfigurationError
 from ..ftl.gc import VictimPolicy
 
 _HEADER = struct.Struct("<IIIIIIQ")
-_ENTRY = struct.Struct("<IIQI")
+_ENTRY = struct.Struct("<IIQIQ")
 
-MAGIC = 0x50444C43  # "PDLC"
+MAGIC = 0x50444C44  # "PDLD" (v2: entries carry diff_ts)
 KIND_SNAPSHOT = 1
 KIND_MARKER = 2
 
@@ -116,7 +124,7 @@ class CheckpointManager:
         self._seq += 1
         seq = self._seq
         entries = sorted(
-            (pid, e.base_addr, e.base_ts, e.diff_addr)
+            (pid, e.base_addr, e.base_ts, e.diff_addr, e.diff_ts)
             for pid, e in self.driver.ppmt.items()
         )
         per_page = self.entries_per_page()
@@ -124,8 +132,14 @@ class CheckpointManager:
         for start in range(0, len(entries), per_page):
             chunk = entries[start : start + per_page]
             body = b"".join(
-                _ENTRY.pack(pid, base, ts, (diff + 1) if diff is not None else 0)
-                for pid, base, ts, diff in chunk
+                _ENTRY.pack(
+                    pid,
+                    base,
+                    ts,
+                    (diff + 1) if diff is not None else 0,
+                    (diff_ts + 1) if diff_ts is not None else 0,
+                )
+                for pid, base, ts, diff, diff_ts in chunk
             )
             payloads.append(body)
         if not payloads:
@@ -213,6 +227,13 @@ class CheckpointManager:
         session marker is written so a subsequent crash cannot be
         mistaken for a clean shutdown.
         """
+        if driver_kwargs.get("mapping") is not None:
+            raise ConfigurationError(
+                "mapping-enabled drivers restart via "
+                "repro.ext.journal.restart_driver (or recover_driver, "
+                "which delegates); CheckpointManager snapshots only the "
+                "clean-shutdown case"
+            )
         ppb = chip.spec.pages_per_block
         half = region_blocks // 2
         newest: Optional[Tuple[int, int, int]] = None  # (seq, kind, half_idx)
@@ -274,11 +295,15 @@ class CheckpointManager:
         driver.ppmt = PhysicalPageMappingTable()
         driver.vdct = ValidDifferentialCountTable()
         valid = set()
-        for pid, base_addr, base_ts, diff_plus1 in entries:
+        for pid, base_addr, base_ts, diff_plus1, diff_ts_plus1 in entries:
             driver.ppmt.set_base(pid, base_addr, base_ts)
             valid.add(base_addr)
             if diff_plus1:
-                driver.ppmt.set_diff(pid, diff_plus1 - 1)
+                driver.ppmt.set_diff(
+                    pid,
+                    diff_plus1 - 1,
+                    (diff_ts_plus1 - 1) if diff_ts_plus1 else None,
+                )
                 driver.vdct.increment(diff_plus1 - 1)
                 valid.add(diff_plus1 - 1)
         driver.blocks.rebuild(valid)
@@ -293,7 +318,7 @@ class CheckpointManager:
     @classmethod
     def _load_snapshot(
         cls, chip: FlashChip, half_idx: int, half: int
-    ) -> Tuple[Optional[Tuple[int, List[Tuple[int, int, int, int]], int]], int]:
+    ) -> Tuple[Optional[Tuple[int, List[Tuple[int, int, int, int, int]], int]], int]:
         """Read and validate one snapshot half; None when corrupt."""
         ppb = chip.spec.pages_per_block
         start = half_idx * half * ppb
@@ -306,7 +331,7 @@ class CheckpointManager:
         if magic != MAGIC or kind != KIND_SNAPSHOT:
             return None, reads
         bodies: List[bytes] = []
-        entries: List[Tuple[int, int, int, int]] = []
+        entries: List[Tuple[int, int, int, int, int]] = []
         for index in range(n_pages):
             if index:
                 reads += 1

@@ -1,0 +1,1031 @@
+"""Journaled mapping snapshots — crash restart in O(dirty tail).
+
+Section 4.5 of the paper sketches the missing piece of mapping-table
+persistence: "we have to log the changes in the mapping table into flash
+memory".  :mod:`repro.ext.checkpoint` implements the clean-shutdown half;
+this module implements the logging half, which together with the
+demand-paged table of :mod:`repro.core.mapping` turns crash restart from
+the O(device) Figure-11 scan into snapshot-load + journal-tail replay.
+
+Layout — ``region_blocks`` blocks right after the checkpoint region::
+
+    [ journal blocks | snapshot half 0 | snapshot half 1 ]
+
+* The **journal** is an append-only sequence of fixed-size delta records
+  (ppmt/vdct mutations plus OPEN_BLOCK markers), group-committed a page
+  at a time.  Records pend in RAM and are flushed only at points where
+  losing them is provably safe: before the first program of a freshly
+  opened block, before a GC victim's erase, and at ``driver.flush()`` /
+  ``end_of_load()``.  Everything pending at a crash is re-derived by the
+  tail scan (see below).  The journal's last page is reserved for an
+  overflow marker: once written, restart ignores the journal and falls
+  back to the full scan — overflow degrades performance, never safety.
+* A **snapshot** is the whole mapping table as a pid-sorted run of
+  packed pages (:mod:`repro.core.mapping` codec), followed by meta pages
+  (page directory, active blocks, vdct rows, validity bitmap) and a
+  **seal** page programmed *last* at the half's fixed final page — NAND
+  imposes no intra-block program order, so seal-last gives atomicity: a
+  seal exists iff every page before it does.  Halves ping-pong, so the
+  snapshot being replaced survives until its successor is sealed.
+
+Restart (:func:`restart_driver`) reads two seal pages, the meta pages,
+and the journal — O(dirty-since-snapshot), never O(device) — then
+replays the records and runs a *seeded* Figure-11 scan over only the
+snapshot-active and journaled-open blocks to recover mutations whose
+records were still pending at the crash.  Any structural damage beyond
+a torn tail demotes to the full scan, which is always sound, and ends
+with a fresh repair snapshot.  ``docs/recovery.md`` walks the decision
+tree and every crash window.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core.differential import DifferentialError, decode_differential_page
+from ..core.mapping import (
+    ENTRY,
+    MAPPING_PHASE,
+    PAGE_HEADER,
+    REC_CLEAR_DIFF,
+    REC_MOVE_BASE,
+    REC_OPEN_BLOCK,
+    REC_REMOVE,
+    REC_SET_BASE,
+    REC_SET_DIFF,
+    REC_VDCT_DEC,
+    REC_VDCT_DROP,
+    REC_VDCT_INC,
+    RECORD,
+    MappingConfig,
+    MappingFormatError,
+    TieredMappingTable,
+    decode_mapping_page,
+    directory_index,
+    encode_mapping_page,
+)
+from ..core.pdl import PdlDriver
+from ..core.recovery import (
+    RECOVERY_PHASE,
+    RecoveryReport,
+    recover_tables,
+)
+from ..core.tables import (
+    MappingEntry,
+    PhysicalPageMappingTable,
+    ValidDifferentialCountTable,
+)
+from ..flash.chip import FlashChip
+from ..flash.errors import ChecksumError, ProgramError, SpareProgramError
+from ..flash.spare import PageType, SpareArea
+from ..flash.stats import FlashStats
+from ..ftl.errors import ConfigurationError
+from ..ftl.gc import VictimPolicy
+
+#: Journal page header: magic, snapshot epoch, page index, record count,
+#: CRC32 of the packed records.
+_JHDR = struct.Struct("<IIIHI")
+
+#: Seal page: magic, seq, data pages, meta pages, live entries, CRC32 of
+#: the concatenated meta payload, max driver timestamp, max pid + 1.
+_SEAL = struct.Struct("<IIIIIIQQ")
+
+#: Meta payload prologue: directory length, active-block count, vdct row
+#: count, validity-bitmap bytes.
+_META_HDR = struct.Struct("<IIII")
+_VDCT_ROW = struct.Struct("<II")
+
+JOURNAL_MAGIC = 0x50444C4A  # "PDLJ"
+OVERFLOW_MAGIC = 0x50444C4F  # "PDLO"
+SEAL_MAGIC = 0x50444C53  # "PDLS"
+META_MAGIC = 0x50444C4D  # "PDLM"
+
+
+class MappingStore:
+    """Flash persistence of the tiered mapping table: journal + snapshots.
+
+    Constructed by :class:`~repro.core.pdl.PdlDriver` when a
+    :class:`~repro.core.mapping.MappingConfig` is supplied, then bound
+    back to the driver (:meth:`bind`) once the tables exist.  All flash
+    traffic is charged to the ``mapping`` phase and counted in
+    ``FlashStats.mapping_misses`` / ``mapping_writebacks``.
+    """
+
+    def __init__(
+        self, chip: FlashChip, config: MappingConfig, base_block: int = 0
+    ) -> None:
+        spec = chip.spec
+        if base_block + config.region_blocks >= spec.n_blocks:
+            raise ConfigurationError(
+                f"mapping region of {config.region_blocks} blocks at "
+                f"{base_block} leaves no data blocks on a chip of "
+                f"{spec.n_blocks}"
+            )
+        self.chip = chip
+        self.spec = spec
+        self.config = config
+        self.base_block = base_block
+        self.driver: Optional[PdlDriver] = None
+        #: Current snapshot sequence number (0 = the implicit empty
+        #: snapshot a fresh device starts from).
+        self.seq = 0
+        #: First pid of each snapshot data page (RAM; bisected on lookup).
+        self.directory: List[int] = []
+        self._n_data = 0
+        self._n_meta = 0
+        #: Blocks that were open for appends when the snapshot was taken.
+        self.snapshot_active_blocks: List[int] = []
+        self.journaling = True
+        self._pending: List[bytes] = []
+        self._cursor = 0
+        self._records_since_snapshot = 0
+        self._overflowed = False
+        self.snapshot_due = False
+        # Lifetime counters (RAM-side; flash-side ones live in FlashStats).
+        self.journal_records = 0
+        self.journal_flushes = 0
+        self.snapshots_taken = 0
+
+    def bind(self, driver: PdlDriver) -> None:
+        self.driver = driver
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> FlashStats:
+        return self.chip.stats
+
+    @property
+    def entries_per_page(self) -> int:
+        return (self.spec.page_data_size - PAGE_HEADER.size) // ENTRY.size
+
+    @property
+    def records_per_page(self) -> int:
+        return (self.spec.page_data_size - _JHDR.size) // RECORD.size
+
+    @property
+    def data_page_count(self) -> int:
+        return self._n_data
+
+    @property
+    def journal_pages(self) -> int:
+        """Total journal pages, including the reserved overflow page."""
+        return self.config.journal_blocks * self.spec.pages_per_block
+
+    @property
+    def usable_journal_pages(self) -> int:
+        return self.journal_pages - 1
+
+    @property
+    def half_pages(self) -> int:
+        return self.config.half_blocks * self.spec.pages_per_block
+
+    def journal_page_addr(self, index: int) -> int:
+        return self.base_block * self.spec.pages_per_block + index
+
+    def half_blocks_of(self, half: int) -> range:
+        start = self.base_block + self.config.journal_blocks
+        start += half * self.config.half_blocks
+        return range(start, start + self.config.half_blocks)
+
+    def half_start_page(self, half: int) -> int:
+        return self.half_blocks_of(half)[0] * self.spec.pages_per_block
+
+    def seal_addr(self, half: int) -> int:
+        return self.half_start_page(half) + self.half_pages - 1
+
+    # ------------------------------------------------------------------
+    # Demand paging (the table's clean-tier backend)
+    # ------------------------------------------------------------------
+    def page_index_of(self, pid: int) -> Optional[int]:
+        return directory_index(self.directory, pid)
+
+    def load_data_page(self, index: int) -> Dict[int, MappingEntry]:
+        # Every load is a miss by definition — a mapping page read from
+        # flash because it was not resident — so the counter is recorded
+        # here, keeping ``mapping_misses`` equal to the mapping region's
+        # raw device reads during normal operation (the stress audit).
+        self.stats.record_mapping_miss()
+        addr = self.half_start_page(self.seq % 2) + index
+        with self.stats.phase(MAPPING_PHASE):
+            data, _spare = self.chip.read_page(addr)
+        return decode_mapping_page(data, expect_seq=self.seq, expect_index=index)
+
+    # ------------------------------------------------------------------
+    # Journal
+    # ------------------------------------------------------------------
+    def record(self, kind: int, a: int, b: int = 0, ts: int = 0) -> None:
+        """Append one delta record (buffered until a group commit)."""
+        if not self.journaling:
+            return
+        self._pending.append(RECORD.pack(kind, a, b, ts))
+        self.journal_records += 1
+        self._records_since_snapshot += 1
+        if self._records_since_snapshot >= self.config.snapshot_interval:
+            self.snapshot_due = True
+
+    @contextmanager
+    def suppressed(self) -> Iterator[None]:
+        """Disable journaling (replay/restore applies mutations that are
+        already represented on flash)."""
+        previous = self.journaling
+        self.journaling = False
+        try:
+            yield
+        finally:
+            self.journaling = previous
+
+    def note_block_open(self, block: int) -> None:
+        """Allocator callback: a stream opened ``block``.
+
+        The OPEN_BLOCK record is committed *before* the caller can
+        program the block's first page.  This ordering is load-bearing:
+        a durable base or differential page in a block the journal never
+        acknowledged would be invisible to the restart tail scan, and
+        its data silently lost.
+        """
+        if not self.journaling:
+            return
+        self.record(REC_OPEN_BLOCK, block)
+        self.commit()
+
+    def commit(self) -> None:
+        """Group commit: flush pending records to journal pages.
+
+        Once the journal is full an overflow marker is written instead
+        and pending records are discarded — the next restart takes the
+        full-scan fallback, so discarding is safe — and a snapshot is
+        armed to reclaim the journal at the next safe point.
+        """
+        if not self._pending:
+            return
+        if self._overflowed:
+            self._pending.clear()
+            return
+        per_page = self.records_per_page
+        with self.stats.phase(MAPPING_PHASE):
+            while self._pending:
+                if self._cursor >= self.usable_journal_pages:
+                    self._write_overflow()
+                    self._pending.clear()
+                    break
+                chunk = self._pending[:per_page]
+                del self._pending[:per_page]
+                body = b"".join(chunk)
+                header = _JHDR.pack(
+                    JOURNAL_MAGIC, self.seq, self._cursor, len(chunk),
+                    zlib.crc32(body),
+                )
+                self.chip.program_page(
+                    self.journal_page_addr(self._cursor),
+                    header + body,
+                    SpareArea(
+                        type=PageType.CHECKPOINT, pid=self._cursor,
+                        timestamp=self.seq,
+                    ),
+                )
+                self.stats.record_mapping_writeback()
+                self._cursor += 1
+        self.journal_flushes += 1
+
+    def _write_overflow(self) -> None:
+        if self._overflowed:
+            return
+        header = _JHDR.pack(OVERFLOW_MAGIC, self.seq, self.usable_journal_pages, 0, 0)
+        self.chip.program_page(
+            self.journal_page_addr(self.usable_journal_pages),
+            header,
+            SpareArea(
+                type=PageType.CHECKPOINT, pid=self.usable_journal_pages,
+                timestamp=self.seq,
+            ),
+        )
+        self.stats.record_mapping_writeback()
+        self._overflowed = True
+        self.snapshot_due = True
+
+    # ------------------------------------------------------------------
+    # Driver pacing
+    # ------------------------------------------------------------------
+    def tick(self, force: bool = False) -> None:
+        """Driver safe point: snapshot when due, else force-commit.
+
+        Snapshots are deferred while a GC victim is in flight — the
+        compaction buffer and wholesale-dropped vdct rows are mid-step
+        state the snapshot must never capture.
+        """
+        if self.driver is None:
+            return
+        if self.snapshot_due and self._safe_to_snapshot():
+            self.snapshot()
+            return
+        if force:
+            self.commit()
+
+    def _safe_to_snapshot(self) -> bool:
+        driver = self.driver
+        assert driver is not None
+        return driver.gc.in_flight_victim is None and driver._gc_buffer.is_empty
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> int:
+        """Write a full snapshot to the inactive half; seal it; reset the
+        journal.  Returns the new sequence number.
+
+        The write is a streaming merge: old snapshot pages are read in
+        pid order and merged with the table's dirty overlay (tombstones
+        drop rows), so cost is one pass over the table, not over the
+        device.  Crash safety is ordering: data, meta, seal *last*, then
+        the journal erase — until the seal lands, restart still sees the
+        previous snapshot with its epoch-matched journal intact.
+        """
+        driver = self.driver
+        if driver is None:
+            raise ConfigurationError("mapping store is not bound to a driver")
+        table = driver.ppmt
+        if not isinstance(table, TieredMappingTable):  # pragma: no cover - guard
+            raise ConfigurationError("snapshot requires a TieredMappingTable")
+        new_seq = self.seq + 1
+        per_page = self.entries_per_page
+
+        payloads: List[bytes] = []
+        directory: List[int] = []
+        rows: List[Tuple[int, MappingEntry]] = []
+        count = 0
+        max_pid = -1
+
+        def flush_rows() -> None:
+            nonlocal rows
+            if rows:
+                directory.append(rows[0][0])
+                payloads.append(
+                    encode_mapping_page(
+                        new_seq, len(payloads), rows, self.spec.page_data_size
+                    )
+                )
+                rows = []
+
+        for pid, entry in self._merged_rows(table):
+            rows.append((pid, entry))
+            count += 1
+            if pid > max_pid:
+                max_pid = pid
+            if len(rows) == per_page:
+                flush_rows()
+        flush_rows()
+
+        meta_chunks = self._encode_meta(directory)
+        n_data = len(payloads)
+        n_meta = len(meta_chunks)
+        if n_data + n_meta + 1 > self.half_pages:
+            raise ConfigurationError(
+                f"snapshot needs {n_data} data + {n_meta} meta pages; half "
+                f"holds {self.half_pages} (raise MappingConfig.region_blocks)"
+            )
+        meta_crc = zlib.crc32(b"".join(meta_chunks))
+        seal = _SEAL.pack(
+            SEAL_MAGIC, new_seq, n_data, n_meta, count, meta_crc,
+            driver.current_ts, max_pid + 1,
+        )
+        half = new_seq % 2
+        start = self.half_start_page(half)
+        with self.stats.phase(MAPPING_PHASE):
+            for block in self.half_blocks_of(half):
+                if not self.chip.is_block_erased(block):
+                    self.chip.erase_block(block)
+            items = [
+                (
+                    start + index,
+                    payload,
+                    SpareArea(
+                        type=PageType.CHECKPOINT, pid=index, timestamp=new_seq
+                    ),
+                )
+                for index, payload in enumerate(payloads)
+            ]
+            for offset, chunk in enumerate(meta_chunks):
+                index = n_data + offset
+                header = PAGE_HEADER.pack(META_MAGIC, new_seq, index, len(chunk))
+                items.append(
+                    (
+                        start + index,
+                        header + chunk,
+                        SpareArea(
+                            type=PageType.CHECKPOINT, pid=index, timestamp=new_seq
+                        ),
+                    )
+                )
+            self.chip.program_pages(items)
+            # The seal goes down last: its existence certifies every page
+            # above.  NAND has no intra-block program-order constraint,
+            # so programming the half's final page after a gap is legal.
+            self.chip.program_page(
+                self.seal_addr(half),
+                seal,
+                SpareArea(
+                    type=PageType.CHECKPOINT,
+                    pid=self.half_pages - 1,
+                    timestamp=new_seq,
+                ),
+            )
+            for block in range(
+                self.base_block, self.base_block + self.config.journal_blocks
+            ):
+                if not self.chip.is_block_erased(block):
+                    self.chip.erase_block(block)
+            self.stats.record_mapping_writeback(n_data + n_meta + 1)
+
+        self.seq = new_seq
+        self.directory = directory
+        self._n_data = n_data
+        self._n_meta = n_meta
+        self.snapshot_active_blocks = sorted(driver.blocks.active_blocks())
+        table.on_snapshot()
+        self._pending.clear()
+        self._cursor = 0
+        self._records_since_snapshot = 0
+        self._overflowed = False
+        self.snapshot_due = False
+        self.snapshots_taken += 1
+        return new_seq
+
+    def _merged_rows(
+        self, table: TieredMappingTable
+    ) -> Iterator[Tuple[int, MappingEntry]]:
+        """Old snapshot pages merged with the overlay, in pid order."""
+        overlay = iter(table.overlay_items())
+        cursor = next(overlay, None)
+        for index in range(self._n_data):
+            for pid, entry in self.load_data_page(index).items():
+                while cursor is not None and cursor[0] < pid:
+                    if cursor[1] is not None:
+                        yield cursor
+                    cursor = next(overlay, None)
+                if cursor is not None and cursor[0] == pid:
+                    if cursor[1] is not None:
+                        yield cursor
+                    cursor = next(overlay, None)
+                else:
+                    yield pid, entry
+        while cursor is not None:
+            if cursor[1] is not None:
+                yield cursor
+            cursor = next(overlay, None)
+
+    def _encode_meta(self, directory: List[int]) -> List[bytes]:
+        driver = self.driver
+        assert driver is not None
+        active = sorted(driver.blocks.active_blocks())
+        vdct_rows = sorted(driver.vdct.items())
+        bitmap = bytearray((self.spec.n_pages + 7) // 8)
+        for addr in driver.blocks.valid_addresses():
+            bitmap[addr >> 3] |= 1 << (addr & 7)
+        blob = b"".join(
+            (
+                _META_HDR.pack(len(directory), len(active), len(vdct_rows), len(bitmap)),
+                b"".join(struct.pack("<I", pid) for pid in directory),
+                b"".join(struct.pack("<I", block) for block in active),
+                b"".join(_VDCT_ROW.pack(addr, n) for addr, n in vdct_rows),
+                bytes(bitmap),
+            )
+        )
+        room = self.spec.page_data_size - PAGE_HEADER.size
+        return [blob[i : i + room] for i in range(0, len(blob), room)] or [b""]
+
+
+def _decode_meta(blob: bytes) -> Tuple[List[int], List[int], List[Tuple[int, int]], bytes]:
+    directory_len, n_active, n_vdct, n_bitmap = _META_HDR.unpack_from(blob, 0)
+    offset = _META_HDR.size
+    need = offset + 4 * directory_len + 4 * n_active + _VDCT_ROW.size * n_vdct + n_bitmap
+    if need > len(blob):
+        raise MappingFormatError("snapshot meta payload truncated")
+    directory = list(struct.unpack_from(f"<{directory_len}I", blob, offset))
+    offset += 4 * directory_len
+    active = list(struct.unpack_from(f"<{n_active}I", blob, offset))
+    offset += 4 * n_active
+    vdct_rows = [
+        _VDCT_ROW.unpack_from(blob, offset + i * _VDCT_ROW.size) for i in range(n_vdct)
+    ]
+    offset += _VDCT_ROW.size * n_vdct
+    bitmap = blob[offset : offset + n_bitmap]
+    return directory, active, vdct_rows, bitmap
+
+
+# ----------------------------------------------------------------------
+# Restart
+# ----------------------------------------------------------------------
+def restart_driver(
+    chip: FlashChip,
+    max_differential_size: int = 256,
+    victim_policy: Optional[VictimPolicy] = None,
+    mapping: Optional[MappingConfig] = None,
+    **driver_kwargs,
+) -> Tuple[PdlDriver, RecoveryReport]:
+    """Restart a mapping-enabled PDL driver after a crash or shutdown.
+
+    Fast path: newest valid seal → meta load → journal-tail replay →
+    seeded Figure-11 scan over only snapshot-active and journaled-open
+    blocks.  Structural journal damage (mid-journal rot, an overflow
+    marker, a stale-epoch journal) demotes to the full-device scan.
+    Either way the driver comes back fully operational and, when the
+    journal could not simply continue, a fresh repair snapshot is
+    written so the *next* restart is fast again.
+
+    The return contract matches :func:`repro.core.recovery.recover_driver`
+    (which delegates here when ``mapping`` is set).
+    """
+    if mapping is None:
+        raise ConfigurationError("restart_driver requires a mapping configuration")
+    driver = PdlDriver(
+        chip,
+        max_differential_size=max_differential_size,
+        victim_policy=victim_policy,
+        mapping=mapping,
+        **driver_kwargs,
+    )
+    store = driver.mapping
+    assert store is not None
+    report = RecoveryReport()
+    with store.suppressed():
+        restored = _try_fast_restart(driver, store, report)
+        if not restored:
+            _full_scan_restart(driver, store, report)
+    if report.repaired:
+        # One repair snapshot re-arms the fast path; it runs only when
+        # the journal could not be continued, so the common clean-prefix
+        # restart stays strictly O(dirty tail).
+        store.snapshot()
+    return driver, report
+
+
+def _read_seal(
+    store: MappingStore, half: int, report: RecoveryReport
+) -> Optional[Tuple[int, int, int, int, int, int, int]]:
+    """Parse one half's seal page; None when absent/invalid."""
+    chip = store.chip
+    report.pages_scanned += 1
+    try:
+        data, spare = chip.read_page(store.seal_addr(half))
+    except ChecksumError:
+        return None
+    if spare.is_erased or spare.type is not PageType.CHECKPOINT:
+        return None
+    try:
+        magic, seq, n_data, n_meta, count, meta_crc, max_ts, max_pid1 = (
+            _SEAL.unpack_from(data, 0)
+        )
+    except struct.error:
+        return None
+    if magic != SEAL_MAGIC or seq % 2 != half:
+        return None
+    if n_data + n_meta + 1 > store.half_pages:
+        return None
+    return seq, n_data, n_meta, count, meta_crc, max_ts, max_pid1
+
+
+def _load_snapshot(
+    driver: PdlDriver, store: MappingStore, report: RecoveryReport
+) -> Optional[Tuple[Set[int], int]]:
+    """Adopt the newest sealed snapshot.  Returns (valid set, max_ts), or
+    None when no usable snapshot exists (the implicit empty snapshot of
+    sequence 0 is then in effect, or the caller falls back to a scan)."""
+    chip = store.chip
+    with chip.stats.phase(MAPPING_PHASE):
+        seals = [(half, _read_seal(store, half, report)) for half in (0, 1)]
+    best = None
+    for half, seal in seals:
+        if seal is not None and (best is None or seal[0] > best[1][0]):
+            best = (half, seal)
+    if best is None:
+        # Fresh device (or both halves rotted — the stale-epoch journal
+        # check demotes that case to the full scan).
+        return set(), 0
+    half, (seq, n_data, n_meta, count, meta_crc, max_ts, max_pid1) = best
+    start = store.half_start_page(half)
+    meta_addrs = [start + n_data + i for i in range(n_meta)]
+    chunks: List[bytes] = []
+    with chip.stats.phase(MAPPING_PHASE):
+        try:
+            pages = chip.read_pages(meta_addrs)
+        except ChecksumError:
+            report.pages_scanned += len(meta_addrs)
+            return None
+    report.pages_scanned += len(meta_addrs)
+    for offset, (data, _spare) in enumerate(pages):
+        try:
+            magic, page_seq, index, size = PAGE_HEADER.unpack_from(data, 0)
+        except struct.error:
+            return None
+        if magic != META_MAGIC or page_seq != seq or index != n_data + offset:
+            return None
+        chunks.append(data[PAGE_HEADER.size : PAGE_HEADER.size + size])
+    blob = b"".join(chunks)
+    if zlib.crc32(blob) != meta_crc:
+        return None
+    try:
+        directory, active, vdct_rows, bitmap = _decode_meta(blob)
+    except (MappingFormatError, struct.error):
+        return None
+    if len(directory) != n_data:
+        return None
+    store.seq = seq
+    store.directory = directory
+    store._n_data = n_data
+    store._n_meta = n_meta
+    store.snapshot_active_blocks = list(active)
+    table = driver.ppmt
+    assert isinstance(table, TieredMappingTable)
+    table.seed_counts(count, max_pid1 - 1)
+    driver.vdct.seed(vdct_rows)
+    valid: Set[int] = set()
+    for addr in range(store.spec.n_pages):
+        if bitmap[addr >> 3] & (1 << (addr & 7)):
+            valid.add(addr)
+    report.snapshot_seq = seq
+    return valid, max_ts
+
+
+def _classify_journal(
+    store: MappingStore, report: RecoveryReport
+) -> Optional[Tuple[List[Tuple[int, int, int, int]], int]]:
+    """Read and validate the journal; returns (records, valid prefix pages).
+
+    ``None`` means the journal is structurally unusable (overflow marker,
+    a valid page after damage, or a stale-epoch journal while a newer
+    seal exists) and the caller must take the full-scan fallback.
+    A torn tail after a valid prefix is fine — the prefix replays and
+    ``report.repaired`` arms the repair snapshot.
+    """
+    chip = store.chip
+    addrs = [store.journal_page_addr(i) for i in range(store.journal_pages)]
+    with chip.stats.phase(MAPPING_PHASE):
+        spares = chip.read_spares(addrs)
+    report.pages_scanned += len(addrs)
+    # Reserved overflow page first: if armed for the current epoch, the
+    # journal's tail was dropped at runtime and only a scan is sound.
+    overflow_spare = spares[-1]
+    if not overflow_spare.is_erased:
+        with chip.stats.phase(MAPPING_PHASE):
+            try:
+                data, _ = chip.read_page(addrs[-1])
+                magic, epoch, _i, _n, _c = _JHDR.unpack_from(data, 0)
+            except (ChecksumError, struct.error):
+                magic, epoch = 0, -1
+        report.pages_scanned += 1
+        if magic == OVERFLOW_MAGIC and epoch == store.seq:
+            return None
+        report.repaired = True  # stale/damaged marker: reclaim via snapshot
+    records: List[Tuple[int, int, int, int]] = []
+    prefix = 0
+    in_prefix = True
+    for index in range(store.usable_journal_pages):
+        if spares[index].is_erased:
+            in_prefix = False
+            continue
+        with chip.stats.phase(MAPPING_PHASE):
+            try:
+                data, _spare = chip.read_page(addrs[index])
+            except ChecksumError:
+                data = None
+        report.pages_scanned += 1
+        page_records = None
+        if data is not None:
+            try:
+                magic, epoch, page_index, n_records, crc = _JHDR.unpack_from(data, 0)
+            except struct.error:
+                magic = 0
+            if magic == JOURNAL_MAGIC and epoch == store.seq and page_index == index:
+                body = data[_JHDR.size : _JHDR.size + n_records * RECORD.size]
+                if len(body) == n_records * RECORD.size and zlib.crc32(body) == crc:
+                    page_records = [
+                        RECORD.unpack_from(body, i * RECORD.size)
+                        for i in range(n_records)
+                    ]
+        if page_records is None:
+            # Torn or stale page.  A pure power loss can only tear the
+            # append point, so anything valid *after* this is rot — the
+            # full scan handles that; either way the journal region gets
+            # reclaimed by a repair snapshot.
+            report.repaired = True
+            in_prefix = False
+            continue
+        if not in_prefix:
+            return None  # valid page after damage: structural rot
+        records.extend(page_records)
+        prefix = index + 1
+    return records, prefix
+
+
+def _try_fast_restart(
+    driver: PdlDriver, store: MappingStore, report: RecoveryReport
+) -> bool:
+    """Snapshot + journal replay + seeded tail scan.  False → fallback."""
+    loaded = _load_snapshot(driver, store, report)
+    if loaded is None:
+        return False
+    valid, seal_max_ts = loaded
+    classified = _classify_journal(store, report)
+    if classified is None:
+        return False
+    records, prefix = classified
+    report.journal_pages = prefix
+    report.journal_records = len(records)
+    table = driver.ppmt
+    assert isinstance(table, TieredMappingTable)
+    vdct = driver.vdct
+    retire: Set[int] = set()
+    scan_blocks: Set[int] = set(store.snapshot_active_blocks)
+    max_ts = seal_max_ts
+    try:
+        for kind, a, b, ts in records:
+            max_ts = max(max_ts, ts)
+            if kind == REC_SET_BASE:
+                old = table.get(a)
+                table.set_base(a, b, ts)
+                valid.add(b)
+                if old is not None and old.base_addr >= 0 and old.base_addr != b:
+                    valid.discard(old.base_addr)
+                    retire.add(old.base_addr)
+            elif kind == REC_MOVE_BASE:
+                old = table.require(a)
+                if old.base_addr != b:
+                    valid.discard(old.base_addr)
+                    retire.add(old.base_addr)
+                table.move_base(a, b)
+                valid.add(b)
+            elif kind == REC_SET_DIFF:
+                table.set_diff(a, b, ts)
+            elif kind == REC_CLEAR_DIFF:
+                table.set_diff(a, None)
+            elif kind == REC_REMOVE:
+                old = table.get(a)
+                if old is not None:
+                    table.remove(a)
+                    if old.base_addr >= 0:
+                        valid.discard(old.base_addr)
+                        retire.add(old.base_addr)
+            elif kind == REC_VDCT_INC:
+                if vdct.count(a) == 0:
+                    valid.add(a)
+                vdct.increment(a)
+            elif kind == REC_VDCT_DEC:
+                if vdct.decrement(a):
+                    valid.discard(a)
+                    retire.add(a)
+            elif kind == REC_VDCT_DROP:
+                vdct.remove(a)
+                valid.discard(a)
+                retire.add(a)
+            elif kind == REC_OPEN_BLOCK:
+                scan_blocks.add(a)
+            else:
+                raise MappingFormatError(f"unknown journal record kind {kind}")
+    except (KeyError, MappingFormatError):
+        # A record stream the tables reject is corrupt in a way the CRCs
+        # could not see; the scan remains sound.
+        return False
+    report.fast_path = True
+    max_ts = max(
+        max_ts, _tail_scan(driver, store, valid, retire, scan_blocks, report)
+    )
+    _retire_sweep(driver, retire, valid, report)
+    driver.blocks.rebuild(valid)
+    driver.resume_ts(max_ts)
+    store._cursor = prefix
+    store._records_since_snapshot = len(records)
+    return True
+
+
+def _tail_scan(
+    driver: PdlDriver,
+    store: MappingStore,
+    valid: Set[int],
+    retire: Set[int],
+    scan_blocks: Set[int],
+    report: RecoveryReport,
+) -> int:
+    """Seeded Figure-11 scan over only the blocks writes could have
+    reached since the snapshot: re-derives every mutation whose journal
+    record was still pending (unflushed) at the crash."""
+    chip = driver.chip
+    table = driver.ppmt
+    assert isinstance(table, TieredMappingTable)
+    vdct = driver.vdct
+    spec = chip.spec
+    placeholders: Set[int] = set()
+    max_ts = 0
+
+    def drop_ref(addr: int) -> None:
+        if vdct.decrement(addr):
+            valid.discard(addr)
+            retire.add(addr)
+
+    with chip.stats.phase(RECOVERY_PHASE):
+        for block in sorted(scan_blocks):
+            if block < driver.blocks.exclude_blocks or block >= spec.n_blocks:
+                continue
+            start = block * spec.pages_per_block
+            addrs = range(start, start + spec.pages_per_block)
+            spares = chip.read_spares(addrs)
+            report.tail_pages_scanned += len(addrs)
+            report.pages_scanned += len(addrs)
+            for addr, spare in zip(addrs, spares):
+                if spare.is_erased:
+                    continue
+                max_ts = max(max_ts, spare.timestamp or 0)
+                if spare.obsolete or spare.type is PageType.CHECKPOINT:
+                    continue
+                if spare.is_corrupt or (
+                    spare.type is PageType.BASE and spare.pid is None
+                ):
+                    retire.add(addr)
+                    valid.discard(addr)
+                    continue
+                if spare.type is PageType.BASE:
+                    _tail_scan_base(
+                        table, addr, spare.pid, spare.timestamp or 0,
+                        valid, retire, drop_ref, report,
+                    )
+                elif spare.type is PageType.DIFFERENTIAL:
+                    if vdct.count(addr) > 0:
+                        continue  # fully described by replayed records
+                    try:
+                        data, _ = chip.read_page(addr)
+                        diffs = decode_differential_page(data)
+                    except (ChecksumError, DifferentialError):
+                        retire.add(addr)
+                        valid.discard(addr)
+                        continue
+                    report.pages_scanned += 1
+                    adopted = 0
+                    for diff in diffs:
+                        entry = table.get(diff.pid)
+                        base_ts = (
+                            entry.base_ts
+                            if entry is not None and entry.base_addr >= 0
+                            else -1
+                        )
+                        if diff.timestamp <= base_ts:
+                            continue
+                        current = (
+                            entry.diff_ts
+                            if entry is not None and entry.diff_ts is not None
+                            else -1
+                        )
+                        if diff.timestamp <= current:
+                            continue
+                        if entry is None:
+                            table.set_base(diff.pid, -1, -1)
+                            placeholders.add(diff.pid)
+                        elif entry.diff_addr is not None:
+                            drop_ref(entry.diff_addr)
+                        table.set_diff(diff.pid, addr, diff.timestamp)
+                        vdct.increment(addr)
+                        adopted += 1
+                        max_ts = max(max_ts, diff.timestamp)
+                    report.differentials_adopted += adopted
+                    if vdct.count(addr) > 0:
+                        valid.add(addr)
+                    else:
+                        retire.add(addr)
+        # Differentials whose base never materialized (torn load).
+        for pid in placeholders:
+            entry = table.get(pid)
+            if entry is not None and entry.base_addr < 0:
+                if entry.diff_addr is not None:
+                    drop_ref(entry.diff_addr)
+                table.remove(pid)
+                report.orphan_pids.append(pid)
+    return max_ts
+
+
+def _tail_scan_base(
+    table: TieredMappingTable,
+    addr: int,
+    pid: int,
+    ts: int,
+    valid: Set[int],
+    retire: Set[int],
+    drop_ref,
+    report: RecoveryReport,
+) -> None:
+    entry = table.get(pid)
+    if entry is not None and addr == entry.base_addr:
+        return  # already adopted via the snapshot or a replayed record
+    if entry is None or entry.base_addr < 0 or ts > entry.base_ts:
+        old_addr = entry.base_addr if entry is not None else None
+        old_diff = entry.diff_addr if entry is not None else None
+        old_diff_ts = entry.diff_ts if entry is not None else None
+        table.set_base(pid, addr, ts)
+        valid.add(addr)
+        report.base_pages_adopted += 1
+        if old_addr is not None and old_addr >= 0:
+            valid.discard(old_addr)
+            retire.add(old_addr)
+        if old_diff is not None:
+            if ts > (old_diff_ts if old_diff_ts is not None else -1):
+                drop_ref(old_diff)  # the newer base supersedes it
+            else:
+                table.set_diff(pid, old_diff, old_diff_ts)
+        return
+    # Stale or tie (identical GC copy): the adopted mapping wins.
+    valid.discard(addr)
+    retire.add(addr)
+
+
+def _retire_sweep(
+    driver: PdlDriver, retire: Set[int], valid: Set[int], report: RecoveryReport
+) -> None:
+    """Obsolete pages that lost their last reference during replay/scan.
+
+    All checks are cost-free peeks; only the actual obsolete mark is
+    charged.  Pages the final tables still reference, and pages already
+    obsolete or erased (the runtime mark landed before the crash, or the
+    block was erased), are skipped — the sweep is idempotent across
+    repeated crashes and never burns spare-program budget twice.
+    """
+    chip = driver.chip
+    table = driver.ppmt
+    vdct = driver.vdct
+    with chip.stats.phase(RECOVERY_PHASE):
+        for addr in sorted(retire):
+            if addr < 0 or addr in valid:
+                continue
+            spare = chip.peek_spare(addr)
+            if spare.is_erased or spare.obsolete:
+                continue
+            if spare.type is PageType.BASE and spare.pid is not None:
+                entry = table.get(spare.pid)
+                if entry is not None and entry.base_addr == addr:
+                    continue  # pragma: no cover - defensive
+            if spare.type is PageType.DIFFERENTIAL and vdct.count(addr) > 0:
+                continue  # pragma: no cover - defensive
+            if spare.type is PageType.CHECKPOINT:
+                continue
+            try:
+                chip.mark_obsolete(addr)
+            except (ProgramError, SpareProgramError):
+                continue
+            report.stale_pages_obsoleted += 1
+
+
+def _full_scan_restart(
+    driver: PdlDriver, store: MappingStore, report: RecoveryReport
+) -> None:
+    """Figure-11 fallback for a mapping-enabled driver.
+
+    The scan runs against plain RAM tables — its adoption logic is the
+    verified reference implementation — and the result is transferred
+    into the tiered table as one big dirty overlay, which the repair
+    snapshot then persists.  Sequence numbers continue above anything
+    either half holds, so the repair seal outranks every stale one.
+    """
+    report.fallback = True
+    report.repaired = True
+    chip = store.chip
+    plain_ppmt = PhysicalPageMappingTable()
+    plain_vdct = ValidDifferentialCountTable()
+    scan = recover_tables(chip, plain_ppmt, plain_vdct, driver=None)
+    for name in (
+        "pages_scanned",
+        "base_pages_adopted",
+        "differentials_adopted",
+        "stale_pages_obsoleted",
+        "corrupt_differential_pages",
+        "corrupt_base_pages",
+        "corrupt_spare_pages",
+        "diff_pages_read",
+        "diff_read_batches",
+    ):
+        setattr(report, name, getattr(report, name) + getattr(scan, name))
+    report.orphan_pids.extend(scan.orphan_pids)
+    report.max_timestamp = max(report.max_timestamp, scan.max_timestamp)
+    # Newest epoch visible anywhere, so the repair snapshot outranks it.
+    best_seq = store.seq
+    for half in (0, 1):
+        seal = _read_seal(store, half, report)
+        if seal is not None:
+            best_seq = max(best_seq, seal[0])
+    store.seq = best_seq
+    store.directory = []
+    store._n_data = 0
+    store._n_meta = 0
+    table = driver.ppmt
+    assert isinstance(table, TieredMappingTable)
+    valid: Set[int] = set()
+    for pid, entry in plain_ppmt.items():
+        table.set_base(pid, entry.base_addr, entry.base_ts)
+        valid.add(entry.base_addr)
+        if entry.diff_addr is not None:
+            table.set_diff(pid, entry.diff_addr, entry.diff_ts)
+    driver.vdct.seed(list(plain_vdct.items()))
+    for diff_page in plain_vdct.pages():
+        valid.add(diff_page)
+    driver.blocks.rebuild(valid)
+    driver.resume_ts(scan.max_timestamp)

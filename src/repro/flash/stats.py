@@ -188,6 +188,15 @@ class FlashStats:
         #: the victim pages they relocated in total.
         self.gc_steps: int = 0
         self.gc_step_pages: int = 0
+        #: Tiered mapping-table accounting (see :mod:`repro.core.mapping`):
+        #: translation lookups served from the in-RAM overlay/cache
+        #: (``hits``, no flash op), demand reads that paged a mapping page
+        #: in from the snapshot region (``misses``, one flash read each,
+        #: charged to the ``mapping`` phase), and mapping-region page
+        #: programs — journal flushes plus snapshot pages (``writebacks``).
+        self.mapping_hits: int = 0
+        self.mapping_misses: int = 0
+        self.mapping_writebacks: int = 0
 
     # ------------------------------------------------------------------
     # Pickling (process executor: worker-side stats travel over a pipe)
@@ -290,6 +299,18 @@ class FlashStats:
         self.gc_steps += 1
         self.gc_step_pages += pages_relocated
 
+    def record_mapping_hit(self) -> None:
+        """A translation lookup served without touching flash."""
+        self.mapping_hits += 1
+
+    def record_mapping_miss(self) -> None:
+        """A translation lookup that demand-paged a mapping page in."""
+        self.mapping_misses += 1
+
+    def record_mapping_writeback(self, pages: int = 1) -> None:
+        """Mapping pages written back to the flash region (journal/snapshot)."""
+        self.mapping_writebacks += pages
+
     # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
@@ -369,6 +390,9 @@ class FlashStats:
         self.write_stall_us = []
         self.gc_steps = 0
         self.gc_step_pages = 0
+        self.mapping_hits = 0
+        self.mapping_misses = 0
+        self.mapping_writebacks = 0
 
 
 @dataclass

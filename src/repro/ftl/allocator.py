@@ -76,6 +76,12 @@ class BlockManager:
         #: the "age" input of cost-benefit victim selection.
         self._last_write_us: List[float] = [0.0] * self.spec.n_blocks
         self._gc: Optional[Callable[[], None]] = None
+        #: Fired with the block id every time a stream opens a fresh
+        #: block, *before* any page of it is programmed.  The mapping
+        #: journal uses this to make its OPEN_BLOCK record durable before
+        #: the first data program can land in the block — the tail-scan
+        #: set after a crash is exactly the journaled open blocks.
+        self.on_block_open: Optional[Callable[[int], None]] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -125,6 +131,8 @@ class BlockManager:
         self._is_free[block] = False
         self._active[stream] = block
         self._next_page[stream] = 0
+        if self.on_block_open is not None:
+            self.on_block_open(block)
 
     # ------------------------------------------------------------------
     # Validity tracking
@@ -148,6 +156,10 @@ class BlockManager:
 
     def valid_count(self, block: int) -> int:
         return self._valid_per_block[block]
+
+    def valid_addresses(self) -> List[int]:
+        """Every physical page currently marked valid (snapshot input)."""
+        return [addr for addr, valid in enumerate(self._valid) if valid]
 
     def valid_pages_in(self, block: int) -> List[int]:
         start = block * self.spec.pages_per_block

@@ -372,6 +372,25 @@ class GarbageCollector:
                 self.chip.stats.record_gc_step(relocated)
         return relocated
 
+    def drain_victim(self) -> None:
+        """Drive any in-flight incremental victim to completion.
+
+        Mid-compaction the tables are transiently inconsistent — a
+        relocated differential page's vdct row is dropped while mapping
+        entries still point into the victim until the compaction buffer
+        flushes.  Consistency points (mapping snapshots, checkpoints)
+        call this first so they never serialize that state.
+        """
+        if self._victim is None:
+            return
+        start = self.chip.clock_us
+        try:
+            with self.chip.stats.phase(GC):
+                while self._victim is not None:
+                    self._advance(self.blocks.spec.n_pages)
+        finally:
+            self.gc_time_us += self.chip.clock_us - start
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

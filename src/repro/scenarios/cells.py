@@ -56,6 +56,14 @@ class EngineConfig:
     eviction policy (``writeback="background"`` adds the write-back
     daemon); 0 drives the method directly, the paper's "exclude the
     buffering effect" setup.
+
+    ``mapping_cache`` (PDL labels only) enables the demand-paged
+    mapping tier on every shard with that many table entries of RAM
+    (``0`` = resident but still journaled/snapshotted);
+    ``mapping_interval`` overrides the snapshot cadence in journal
+    records.  The differential-equivalence oracle holds these cells to
+    the same logical state hash as the plain in-RAM table, which is
+    exactly the tier's correctness contract.
     """
 
     name: str
@@ -64,6 +72,8 @@ class EngineConfig:
     buffer_pages: int = 0
     buffer_policy: str = "lru"
     writeback: Optional[str] = None
+    mapping_cache: Optional[int] = None
+    mapping_interval: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.backend not in ("memory", "file"):
@@ -74,6 +84,10 @@ class EngineConfig:
             raise ValueError(f"unknown writeback mode {self.writeback!r}")
         if self.writeback is not None and self.buffer_pages == 0:
             raise ValueError("writeback needs a buffer pool (buffer_pages > 0)")
+        if self.mapping_cache is not None and self.mapping_cache < 0:
+            raise ValueError("mapping_cache must be non-negative")
+        if self.mapping_interval is not None and self.mapping_cache is None:
+            raise ValueError("mapping_interval requires mapping_cache")
 
     @property
     def buffered(self) -> bool:
@@ -84,6 +98,8 @@ class EngineConfig:
         if self.buffered:
             mode = self.writeback or "sync"
             parts.append(f"buffer={self.buffer_pages}/{self.buffer_policy}/{mode}")
+        if self.mapping_cache is not None:
+            parts.append(f"mapping={self.mapping_cache}")
         return " ".join(parts)
 
 
@@ -164,7 +180,17 @@ def replay_cell(
     workdir.mkdir(parents=True, exist_ok=True)
 
     chips = _build_chips(config, stream, utilization, workdir)
-    driver = make_method(config.label, chips)
+    method_kwargs: Dict[str, object] = {}
+    if config.mapping_cache is not None:
+        from ..core.mapping import MappingConfig
+
+        spec = chips.spec if isinstance(chips, FlashChip) else chips[0].spec
+        method_kwargs["mapping"] = MappingConfig.auto(
+            spec,
+            cache_entries=config.mapping_cache,
+            snapshot_interval=config.mapping_interval,
+        )
+    driver = make_method(config.label, chips, **method_kwargs)
     db: Optional[Database] = None
     try:
         driver.load_pages(stream.initial_images())

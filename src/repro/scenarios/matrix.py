@@ -31,7 +31,7 @@ from .stream import build_stream
 DEFAULT_SEED = 20100121
 
 #: The full configuration grid: methods × shards × executor × GC policy
-#: × backend × buffer policy/write-back.
+#: × backend × buffer policy/write-back × mapping tier.
 DEFAULT_CONFIGS: Tuple[EngineConfig, ...] = (
     EngineConfig("pdl-256", "PDL (256B)"),
     EngineConfig("pdl-2k", "PDL (2KB)"),
@@ -52,6 +52,13 @@ DEFAULT_CONFIGS: Tuple[EngineConfig, ...] = (
         buffer_policy="2q",
         writeback="background",
     ),
+    # Demand-paged mapping tier: the oracle holds these to the identical
+    # logical state hash as the in-RAM table (tight cache, resident
+    # cache, sharded, and process-executor variants).
+    EngineConfig("pdl-map-16", "PDL (256B)", mapping_cache=16, mapping_interval=48),
+    EngineConfig("pdl-map-res", "PDL (256B)", mapping_cache=0),
+    EngineConfig("pdl-map-x2", "PDL (256B) x2", mapping_cache=16),
+    EngineConfig("pdl-map-proc", "PDL (256B) x2 proc", mapping_cache=16),
 )
 
 #: The CI smoke grid: one representative per axis, eight configs.
@@ -65,6 +72,7 @@ TINY_CONFIGS: Tuple[EngineConfig, ...] = (
     EngineConfig("pdl-x2-thread", "PDL (256B) x2 par"),
     EngineConfig("pdl-buf-2q-bg", "PDL (256B)", buffer_pages=10,
                  buffer_policy="2q", writeback="background"),
+    EngineConfig("pdl-map-16", "PDL (256B)", mapping_cache=16, mapping_interval=48),
 )
 
 _DEFAULT_PATTERN_NAMES = (

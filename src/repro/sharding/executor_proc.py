@@ -366,6 +366,11 @@ def _op_horizon(driver):
     ppmt = getattr(driver, "ppmt", None)
     if ppmt is None:
         return 0
+    top = getattr(ppmt, "max_pid", None)
+    if top is not None:
+        # Tiered tables track the horizon; a full walk would demand-page
+        # every snapshot page of the shard just to find the max.
+        return top + 1
     return max((pid for pid, _entry in ppmt.items()), default=-1) + 1
 
 

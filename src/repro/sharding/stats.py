@@ -167,6 +167,26 @@ class AggregateStats:
         return sum(stats.checksum_failures for stats in self._shards)
 
     # ------------------------------------------------------------------
+    # Mapping-tier aggregation (demand-paged translation cache)
+    # ------------------------------------------------------------------
+    @property
+    def mapping_hits(self) -> int:
+        return sum(stats.mapping_hits for stats in self._shards)
+
+    @property
+    def mapping_misses(self) -> int:
+        return sum(stats.mapping_misses for stats in self._shards)
+
+    @property
+    def mapping_writebacks(self) -> int:
+        return sum(stats.mapping_writebacks for stats in self._shards)
+
+    @property
+    def mapping_hit_ratio(self) -> float:
+        lookups = self.mapping_hits + self.mapping_misses
+        return self.mapping_hits / lookups if lookups else 0.0
+
+    # ------------------------------------------------------------------
     # Merged reporting (flash totals + optional buffer-pool counters)
     # ------------------------------------------------------------------
     def report(self, buffer_stats=None) -> Dict[str, object]:
@@ -194,6 +214,9 @@ class AggregateStats:
             "cache_misses": self.cache_misses,
             "checksum_checks": self.checksum_checks,
             "checksum_failures": self.checksum_failures,
+            "mapping_hits": self.mapping_hits,
+            "mapping_misses": self.mapping_misses,
+            "mapping_writebacks": self.mapping_writebacks,
         }
         if buffer_stats is not None:
             out["buffer"] = buffer_stats.as_dict()

@@ -34,6 +34,7 @@ import threading
 from dataclasses import asdict
 from typing import List, Optional
 
+from ..core.mapping import MappingConfig
 from ..core.pdl import PdlDriver
 from ..flash.backend import BackendError, FileBackend
 from ..flash.chip import FlashChip
@@ -129,6 +130,8 @@ class Database:
         parallel: "bool | str" = False,
         buffer_policy: str = "lru",
         writeback=None,
+        mapping_cache: Optional[int] = None,
+        snapshot_interval: Optional[int] = None,
         **driver_kwargs,
     ) -> "Database":
         """Open (or create) a persistent PDL database at ``path``.
@@ -172,6 +175,24 @@ class Database:
         Both are runtime — not manifest — state, like ``parallel``; see
         ``docs/bufferpool.md``.
 
+        ``mapping_cache`` (an entry count; ``0`` = resident) enables the
+        demand-paged mapping tier on every shard: the mapping table
+        lives in a journaled, snapshotted flash region
+        (:mod:`repro.ext.journal`) and at most ``mapping_cache`` entries
+        of it are held in RAM, so a shard can serve a device far larger
+        than its mapping RAM and a crash restart replays the journal
+        tail instead of scanning the device.  The region *geometry* is
+        part of the on-flash layout and is therefore recorded in the
+        manifest at creation time; ``mapping_cache`` itself (and
+        ``snapshot_interval``, the dirty-record count that arms the next
+        snapshot) are runtime tuning and may differ across reopens.
+        Reopening a mapping database always re-enables the tier —
+        passing ``mapping_cache=None`` then just means "default cache".
+        Enabling the tier on a database created without it (or vice
+        versa, via explicit ``mapping_cache`` on creation only) is a
+        layout change and raises
+        :class:`~repro.ftl.errors.ConfigurationError`.
+
         ``read_cache_pages`` enables the per-chip LRU base-page read
         cache; remaining keyword arguments go to the (per-shard)
         :class:`~repro.core.pdl.PdlDriver` constructor or recovery.
@@ -195,6 +216,8 @@ class Database:
                 parallel,
                 pool_kwargs,
                 driver_kwargs,
+                mapping_cache,
+                snapshot_interval,
             )
         return cls._create_new(
             path,
@@ -206,6 +229,8 @@ class Database:
             parallel,
             pool_kwargs,
             driver_kwargs,
+            mapping_cache,
+            snapshot_interval,
         )
 
     @classmethod
@@ -220,9 +245,30 @@ class Database:
         parallel: bool,
         pool_kwargs: dict,
         driver_kwargs: dict,
+        mapping_cache: Optional[int] = None,
+        snapshot_interval: Optional[int] = None,
     ) -> "Database":
         if n_shards < 1:
             raise ConfigurationError("n_shards must be at least 1")
+        if "mapping" in driver_kwargs:
+            raise ConfigurationError(
+                "pass mapping_cache/snapshot_interval instead of a raw "
+                "mapping= config: the region geometry must be recorded in "
+                "the manifest to survive reopen"
+            )
+        mapping_cfg = None
+        if mapping_cache is not None:
+            mapping_cfg = MappingConfig.auto(
+                spec,
+                cache_entries=mapping_cache,
+                snapshot_interval=snapshot_interval,
+            )
+            driver_kwargs = {**driver_kwargs, "mapping": mapping_cfg}
+        elif snapshot_interval is not None:
+            raise ConfigurationError(
+                "snapshot_interval requires the mapping tier "
+                "(pass mapping_cache as well)"
+            )
         os.makedirs(path, exist_ok=True)
         chips = []
         for i in range(n_shards):
@@ -249,6 +295,13 @@ class Database:
             "router": {"kind": "hash"},
             "spec": asdict(spec),
         }
+        if mapping_cfg is not None:
+            # Geometry only: cache size and snapshot cadence are runtime
+            # tuning, but the region layout is burned into the images.
+            manifest["mapping"] = {
+                "region_blocks": mapping_cfg.region_blocks,
+                "journal_blocks": mapping_cfg.journal_blocks,
+            }
         with open(os.path.join(path, MANIFEST_NAME), "w", encoding="utf-8") as fh:
             json.dump(manifest, fh, indent=2, sort_keys=True)
         db = cls(driver, buffer_capacity, **pool_kwargs)
@@ -267,6 +320,8 @@ class Database:
         parallel: bool,
         pool_kwargs: dict,
         driver_kwargs: dict,
+        mapping_cache: Optional[int] = None,
+        snapshot_interval: Optional[int] = None,
     ) -> "Database":
         with open(os.path.join(path, MANIFEST_NAME), encoding="utf-8") as fh:
             manifest = json.load(fh)
@@ -300,6 +355,31 @@ class Database:
         if spec is not None and asdict(spec) != asdict(stored_spec):
             raise ConfigurationError(
                 f"database at {path!r} was created with a different spec"
+            )
+        if "mapping" in driver_kwargs:
+            raise ConfigurationError(
+                "pass mapping_cache/snapshot_interval instead of a raw "
+                "mapping= config: the region geometry comes from the manifest"
+            )
+        stored_mapping = manifest.get("mapping")
+        if stored_mapping is not None:
+            # The region layout is durable; cache size and snapshot
+            # cadence are fresh runtime choices on every reopen.
+            mapping_cfg = MappingConfig(
+                region_blocks=int(stored_mapping["region_blocks"]),
+                journal_blocks=int(stored_mapping["journal_blocks"]),
+                cache_entries=mapping_cache if mapping_cache is not None else 0,
+                snapshot_interval=(
+                    snapshot_interval
+                    if snapshot_interval is not None
+                    else max(64, stored_spec.n_pages // 4)
+                ),
+            )
+            driver_kwargs = {**driver_kwargs, "mapping": mapping_cfg}
+        elif mapping_cache is not None or snapshot_interval is not None:
+            raise ConfigurationError(
+                f"database at {path!r} was created without the mapping "
+                "tier; its region cannot be carved out after the fact"
             )
         chips = [
             FlashChip(
@@ -492,6 +572,12 @@ def _allocation_horizon(driver: PageUpdateMethod) -> int:
     shards = getattr(driver, "shards", None) or [driver]
     top = -1
     for shard in shards:
+        table_top = getattr(shard.ppmt, "max_pid", None)
+        if table_top is not None:
+            # Tiered tables track the horizon explicitly — walking them
+            # would demand-page the entire snapshot just to find a max.
+            top = max(top, table_top)
+            continue
         for pid, _entry in shard.ppmt.items():
             top = max(top, pid)
     return top + 1

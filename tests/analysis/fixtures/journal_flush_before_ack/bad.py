@@ -1,0 +1,13 @@
+"""Fixture: OPEN_BLOCK journaled without a following commit (2 findings)."""
+
+REC_OPEN_BLOCK = 9
+
+
+def open_block_never_committed(journal, block):
+    journal.record(REC_OPEN_BLOCK, block)
+    return block
+
+
+def commit_precedes_the_record(journal, block):
+    journal.commit()
+    journal.record(REC_OPEN_BLOCK, block)

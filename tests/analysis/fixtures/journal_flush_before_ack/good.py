@@ -1,0 +1,20 @@
+"""Fixture: every OPEN_BLOCK record is committed before the ack returns."""
+
+REC_OPEN_BLOCK = 9
+REC_SET_BASE = 1
+
+
+def note_block_open(journal, block):
+    journal.record(REC_OPEN_BLOCK, block)
+    journal.commit()
+
+
+def buffered_record(journal, pid, addr):
+    # Non-OPEN_BLOCK records may buffer and group-commit later.
+    journal.record(REC_SET_BASE, pid, addr)
+
+
+def replay_record(kind, block, opened):
+    # Comparing against the kind constant is not journaling it.
+    if kind == REC_OPEN_BLOCK:
+        opened.add(block)

@@ -12,6 +12,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 CASES = [
     ("bare_except", "bare-except", 2),
     ("checksum_bypass", "checksum-bypass", 2),
+    ("journal_flush_before_ack", "journal-flush-before-ack", 2),
     ("lock_order", "lock-order", 1),
     ("phase_discipline", "phase-discipline", 3),
     ("pin_discipline", "pin-discipline", 2),

@@ -1,0 +1,308 @@
+"""Crash matrix for the mapping journal/snapshot restart path.
+
+Every test pits the snapshot-load + journal-tail-replay restart
+(:func:`repro.ext.journal.restart_driver`) against the Figure-11
+full-scan oracle (:func:`repro.core.recovery.recover_tables` on a
+private deep copy of the crashed chip) and demands byte-identical
+ppmt/vdct state.  The boundaries under attack:
+
+* power loss at every k-th mutating flash op of a write+GC window
+  (journal appends, snapshots, GC drops all land inside the sweep);
+* a *torn* journal append — the group-commit page itself half-programs
+  before the power cut, at every journal program of the window;
+* power loss at every op of a snapshot (half erase, data/meta programs,
+  the seal, the journal reset) — including the stale-epoch window where
+  the new seal exists but the old journal was not yet erased;
+* a journal tail strictly newer than the snapshot (the fast path's
+  bread and butter);
+* journal overflow: the marker page must force the scan fallback.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.core.mapping import MappingConfig
+from repro.core.pdl import PdlDriver
+from repro.core.recovery import recover_tables
+from repro.core.tables import PhysicalPageMappingTable, ValidDifferentialCountTable
+from repro.ext.journal import restart_driver
+from repro.flash.chip import FlashChip
+from repro.flash.errors import SimulatedPowerLoss
+from repro.flash.spec import FlashSpec
+
+SPEC = FlashSpec(
+    n_blocks=16, pages_per_block=8, page_data_size=256, page_spare_size=32
+)
+N_PIDS = 10
+N_WRITES = 60
+SEED = 20100121
+MAX_DIFF = 64
+INTERVAL = 40  # journal records between snapshots: several per window
+
+
+def _build(
+    interval: int = INTERVAL, cache_entries: int = 8
+) -> Tuple[FlashChip, PdlDriver, MappingConfig]:
+    cfg = MappingConfig.auto(
+        SPEC, cache_entries=cache_entries, snapshot_interval=interval
+    )
+    chip = FlashChip(SPEC)
+    driver = PdlDriver(chip, max_differential_size=MAX_DIFF, mapping=cfg)
+    return chip, driver, cfg
+
+
+def _workload(driver: PdlDriver, n_writes: int = N_WRITES) -> None:
+    """Deterministic load + patch window with periodic flushes."""
+    rng = random.Random(SEED)
+    for pid in range(N_PIDS):
+        driver.load_page(pid, rng.randbytes(SPEC.page_data_size))
+    driver.end_of_load()
+    for i in range(n_writes):
+        pid = rng.randrange(N_PIDS)
+        image = bytearray(driver.read_page(pid))
+        offset = rng.randrange(SPEC.page_data_size - 24)
+        image[offset : offset + 24] = rng.randbytes(24)
+        driver.write_page(pid, bytes(image))
+        if i % 9 == 8:
+            driver.flush()
+    driver.flush()
+
+
+State = Tuple[Dict[int, Tuple[int, int, Optional[int], Optional[int]]], Dict[int, int]]
+
+
+def _state_of(ppmt, vdct) -> State:
+    rows = {
+        pid: (e.base_addr, e.base_ts, e.diff_addr, e.diff_ts)
+        for pid, e in ppmt.items()
+    }
+    return rows, dict(vdct.items())
+
+
+def _scan_oracle(chip: FlashChip) -> State:
+    """Figure-11 full scan on a private copy (mark_obsolete side effects
+    must not leak into the restart's input)."""
+    replica = copy.deepcopy(chip)
+    ppmt = PhysicalPageMappingTable()
+    vdct = ValidDifferentialCountTable()
+    recover_tables(replica, ppmt, vdct)
+    return _state_of(ppmt, vdct)
+
+
+def _restart(chip: FlashChip, cfg: MappingConfig):
+    replica = copy.deepcopy(chip)
+    driver, report = restart_driver(
+        replica, max_differential_size=MAX_DIFF, mapping=cfg
+    )
+    return driver, report
+
+
+class _Countdown:
+    """Power loss before the k-th mutating op (armed at construction)."""
+
+    def __init__(self, chip: FlashChip, after: int):
+        self.remaining = after
+        self.chip = chip
+        chip.on_operation(self._tick)
+
+    def _tick(self, op: str) -> None:
+        if self.remaining <= 0:
+            raise SimulatedPowerLoss(f"power loss before {op}")
+        self.remaining -= 1
+
+    def disarm(self) -> None:
+        self.chip.on_operation(None)
+
+
+def _count_ops(run) -> int:
+    counter = {"ops": 0}
+    chip, driver, _cfg = _build()
+    chip.on_operation(lambda _op: counter.__setitem__("ops", counter["ops"] + 1))
+    run(chip, driver)
+    chip.on_operation(None)
+    return counter["ops"]
+
+
+def test_crash_matrix_every_boundary():
+    """Power loss swept across the whole window: restart == scan oracle."""
+    total = _count_ops(lambda chip, driver: _workload(driver))
+    assert total > 60, "window too small to cover the journal boundaries"
+    fast = fallback = 0
+    for k in range(0, total, 3):
+        chip, driver, cfg = _build()
+        guard = _Countdown(chip, k)
+        try:
+            _workload(driver)
+        except SimulatedPowerLoss:
+            pass
+        else:
+            pytest.fail(f"crash point {k} of {total} never fired")
+        finally:
+            guard.disarm()
+        expected = _scan_oracle(chip)
+        recovered, report = _restart(chip, cfg)
+        assert _state_of(recovered.ppmt, recovered.vdct) == expected, (
+            f"crash@{k}: restart diverged from the scan oracle"
+        )
+        fast += report.fast_path
+        fallback += report.fallback
+    assert fast > 0, "sweep never exercised the snapshot+journal fast path"
+
+
+def test_torn_journal_append_replays_valid_prefix():
+    """The commit page itself half-programs at the power cut.
+
+    The chip's native crash model only produces clean prefixes, so the
+    tear is staged manually: the k-th journal program stores half its
+    record payload (erased 0xFF beyond the tear) and the power then
+    fails.  Because the journal acks *before* dependent programs start
+    (the flush-before-ack contract), replaying the valid prefix plus the
+    seeded tail scan must still converge to the oracle.
+    """
+    total_appends = _count_journal_programs()
+    assert total_appends > 4
+    torn_fired = 0
+    for target in range(total_appends):
+        chip, driver, cfg = _build()
+        journal = range(
+            driver.mapping.journal_page_addr(0),
+            driver.mapping.journal_page_addr(0) + driver.mapping.journal_pages,
+        )
+        orig = chip.program_page
+        state = {"seen": 0}
+
+        def tearing(addr, data, spare, _orig=orig, _state=state, _target=target):
+            if addr in journal and _state["seen"] == _target:
+                half = len(data) // 2
+                _orig(addr, data[:half] + b"\xff" * (len(data) - half), spare)
+                raise SimulatedPowerLoss(f"torn journal program at {addr}")
+            if addr in journal:
+                _state["seen"] += 1
+            _orig(addr, data, spare)
+
+        chip.program_page = tearing  # type: ignore[method-assign]
+        try:
+            _workload(driver)
+        except SimulatedPowerLoss:
+            torn_fired += 1
+        finally:
+            del chip.program_page
+        expected = _scan_oracle(chip)
+        recovered, report = _restart(chip, cfg)
+        assert _state_of(recovered.ppmt, recovered.vdct) == expected, (
+            f"torn append #{target}: restart diverged from the scan oracle"
+        )
+        if report.fast_path:
+            # The torn page is journal damage the restart must have seen
+            # and repaired (fresh snapshot at the end of the restart).
+            assert report.repaired
+    assert torn_fired == total_appends
+
+
+def _count_journal_programs() -> int:
+    chip, driver, _cfg = _build()
+    journal = range(
+        driver.mapping.journal_page_addr(0),
+        driver.mapping.journal_page_addr(0) + driver.mapping.journal_pages,
+    )
+    counter = {"n": 0}
+    orig = chip.program_page
+
+    def counting(addr, data, spare):
+        if addr in journal:
+            counter["n"] += 1
+        orig(addr, data, spare)
+
+    chip.program_page = counting  # type: ignore[method-assign]
+    try:
+        _workload(driver)
+    finally:
+        del chip.program_page
+    return counter["n"]
+
+
+def test_crash_matrix_mid_snapshot():
+    """Power loss at every op of a snapshot: half erase, data/meta
+    programs, the seal, the journal reset.  Crashing between the new
+    seal and the journal erase leaves stale-epoch journal pages behind
+    the fresh snapshot — the classifier must replay none of them."""
+    chip, driver, _cfg = _build()
+    _workload(driver)
+    counter = {"ops": 0}
+    chip.on_operation(lambda _op: counter.__setitem__("ops", counter["ops"] + 1))
+    driver.mapping.snapshot()
+    chip.on_operation(None)
+    total = counter["ops"]
+    assert total > 5, "snapshot too small for a meaningful sweep"
+    for k in range(total):
+        chip, driver, cfg = _build()
+        _workload(driver)
+        guard = _Countdown(chip, k)
+        try:
+            driver.mapping.snapshot()
+        except SimulatedPowerLoss:
+            pass
+        else:
+            pytest.fail(f"snapshot crash point {k} of {total} never fired")
+        finally:
+            guard.disarm()
+        expected = _scan_oracle(chip)
+        recovered, report = _restart(chip, cfg)
+        assert _state_of(recovered.ppmt, recovered.vdct) == expected, (
+            f"snapshot crash@{k}: restart diverged from the scan oracle"
+        )
+
+
+def test_journal_tail_newer_than_snapshot():
+    """The canonical fast path: clean snapshot + a dirty journal tail."""
+    chip, driver, cfg = _build()
+    _workload(driver)
+    driver.mapping.snapshot()
+    rng = random.Random(7)
+    for _ in range(8):
+        pid = rng.randrange(N_PIDS)
+        image = bytearray(driver.read_page(pid))
+        image[0:8] = rng.randbytes(8)
+        driver.write_page(pid, bytes(image))
+    driver.flush()
+    expected = _scan_oracle(chip)
+    recovered, report = _restart(chip, cfg)
+    assert report.fast_path and not report.fallback
+    assert report.journal_records > 0
+    assert report.snapshot_seq is not None
+    assert _state_of(recovered.ppmt, recovered.vdct) == expected
+    # The recovered driver stays fully operational, journal included.
+    image = bytearray(recovered.read_page(0))
+    image[0:4] = b"\xde\xad\xbe\xef"
+    recovered.write_page(0, bytes(image))
+    recovered.flush()
+    assert recovered.read_page(0) == bytes(image)
+
+
+def test_journal_overflow_marker_forces_fallback():
+    """A full journal writes the overflow marker; with no snapshot ever
+    landing (GC kept "in flight" artificially), restart must take the
+    scan fallback and still converge."""
+    chip, driver, cfg = _build(interval=24)
+    driver.mapping._safe_to_snapshot = lambda: False  # type: ignore[method-assign]
+    rng = random.Random(SEED)
+    for pid in range(N_PIDS):
+        driver.load_page(pid, rng.randbytes(SPEC.page_data_size))
+    driver.end_of_load()
+    for _ in range(400):
+        if driver.mapping._overflowed:
+            break
+        pid = rng.randrange(N_PIDS)
+        image = bytearray(driver.read_page(pid))
+        image[0:8] = rng.randbytes(8)
+        driver.write_page(pid, bytes(image))
+    assert driver.mapping._overflowed, "journal never overflowed"
+    expected = _scan_oracle(chip)
+    recovered, report = _restart(chip, cfg)
+    assert report.fallback and not report.fast_path
+    assert _state_of(recovered.ppmt, recovered.vdct) == expected
